@@ -1,0 +1,52 @@
+//! E8: the paper's future-work item — "the determinacy race
+//! post-processing analysis is an embarrassingly parallel algorithm,
+//! but it is currently run sequentially". Sequential Algorithm 1 versus
+//! the crossbeam fan-out, on a segment graph with many unordered pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taskgrind::analysis::{run, run_parallel, SuppressOptions};
+use taskgrind::graph::{GraphBuilder, SegmentGraph, ThreadMeta};
+use taskgrind::reach::Reachability;
+
+/// Many mutually-unordered tasks with overlapping access sets.
+fn wide_graph(tasks: u64) -> SegmentGraph {
+    let mut b = GraphBuilder::new();
+    let m = ThreadMeta::default();
+    for i in 0..tasks {
+        let t = b.task_create(&m, 0, 0x100 + i);
+        b.task_spawn(&m, t);
+        b.task_begin(&m, t);
+        // overlapping stripes so intersections are non-trivial
+        for k in 0..16u64 {
+            let base = 0x1_0000 + ((i % 8) * 64 + k * 8);
+            b.record_access(&m, base, 8, k % 3 == 0);
+        }
+        b.task_end(&m, t);
+    }
+    b.finalize()
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_analysis");
+    g.sample_size(10);
+    let graph = wide_graph(192);
+    let reach = Reachability::compute(&graph);
+    let opts = SuppressOptions::default();
+
+    g.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(run(&graph, &reach, &opts).candidates.len()))
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_function(format!("parallel_{threads}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    run_parallel(&graph, &reach, &opts, threads).candidates.len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E9 ablation: happens-before reachability — precomputed bitset
+//! transitive closure versus on-demand DFS, on task-shaped segment
+//! graphs of increasing size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taskgrind::graph::{GraphBuilder, SegmentGraph, ThreadMeta};
+use taskgrind::reach::{dfs_reaches, Reachability};
+
+/// A fork/join-heavy graph: `n` rounds of 4 tasks + taskwait.
+fn build_graph(rounds: u64) -> SegmentGraph {
+    let mut b = GraphBuilder::new();
+    let m = ThreadMeta::default();
+    for r in 0..rounds {
+        for i in 0..4u64 {
+            let t = b.task_create(&m, 0, 0x100 + r * 8 + i);
+            b.task_spawn(&m, t);
+            b.task_begin(&m, t);
+            b.record_access(&m, 0x1000 + (r * 4 + i) * 8, 8, true);
+            b.task_end(&m, t);
+        }
+        b.taskwait(&m);
+    }
+    b.finalize()
+}
+
+fn bench_reach(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reach");
+    for rounds in [16u64, 64] {
+        let graph = build_graph(rounds);
+        let n = graph.n_nodes() as u32;
+        g.bench_function(format!("closure_build/{n}nodes"), |b| {
+            b.iter(|| std::hint::black_box(Reachability::compute(&graph).heap_bytes()))
+        });
+        let reach = Reachability::compute(&graph);
+        g.bench_function(format!("closure_query_all_pairs/{n}nodes"), |b| {
+            b.iter(|| {
+                let mut count = 0u64;
+                for i in 0..n {
+                    for j in 0..n {
+                        if reach.reaches(i, j) {
+                            count += 1;
+                        }
+                    }
+                }
+                std::hint::black_box(count)
+            })
+        });
+        g.bench_function(format!("dfs_query_100_pairs/{n}nodes"), |b| {
+            b.iter(|| {
+                let mut count = 0u64;
+                for i in 0..100.min(n) {
+                    if dfs_reaches(&graph, i, n - 1) {
+                        count += 1;
+                    }
+                }
+                std::hint::black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reach);
+criterion_main!(benches);

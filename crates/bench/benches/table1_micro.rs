@@ -1,0 +1,49 @@
+//! E1 bench: per-tool cost of analyzing representative Table I
+//! microbenchmarks. Regenerate the full verdict table with
+//! `cargo run -p tg-drb --bin table1 --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grindcore::VmConfig;
+use minicc::SourceFile;
+use taskgrind::{check_module, TaskgrindConfig};
+use tg_baselines::{archer::run_archer, romp::run_romp, tasksan::run_tasksan};
+use tg_drb::by_name;
+
+const PROGRAMS: &[&str] = &[
+    "027-taskdependmissing-orig",
+    "072-taskdep1-orig",
+    "107-taskgroup-orig",
+    "173-non-sibling-taskdep",
+];
+
+fn bench_tools(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_micro");
+    g.sample_size(10);
+    let vm = VmConfig { nthreads: 4, ..Default::default() };
+    for name in PROGRAMS {
+        let p = by_name(name).expect("corpus program");
+        let plain = guest_rt::build_single(p.name, p.source).unwrap();
+        let tsan =
+            guest_rt::build_program_tsan(&[SourceFile::new(p.name, p.source)]).unwrap();
+
+        g.bench_function(format!("taskgrind/{name}"), |b| {
+            b.iter(|| {
+                let cfg = TaskgrindConfig { vm: vm.clone(), ..Default::default() };
+                std::hint::black_box(check_module(&plain, &[], &cfg).n_reports())
+            })
+        });
+        g.bench_function(format!("archer/{name}"), |b| {
+            b.iter(|| std::hint::black_box(run_archer(&tsan, &[], &vm).n_reports))
+        });
+        g.bench_function(format!("tasksan/{name}"), |b| {
+            b.iter(|| std::hint::black_box(run_tasksan(&tsan, &[], &vm).n_reports))
+        });
+        g.bench_function(format!("romp/{name}"), |b| {
+            b.iter(|| std::hint::black_box(run_romp(&plain, &[], &vm).n_reports))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tools);
+criterion_main!(benches);

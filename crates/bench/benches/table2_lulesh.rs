@@ -1,0 +1,36 @@
+//! E2/E3 bench: the Table II / Fig. 4 overhead measurements as
+//! Criterion benchmarks — reference vs Archer vs Taskgrind on LULESH,
+//! over two problem sizes so the O(s³) growth is visible. The
+//! standalone harnesses (`table2`, `fig4`) print the paper-shaped rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_lulesh::harness::{measure, LuleshParams, ToolCfg};
+
+fn bench_lulesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_fig4");
+    g.sample_size(10);
+    for s in [4u64, 8] {
+        let p = LuleshParams {
+            s,
+            tel: 2,
+            tnl: 2,
+            iters: 2,
+            progress: false,
+            racy: false,
+            threads: 1,
+        };
+        g.bench_function(format!("none/s{s}"), |b| {
+            b.iter(|| std::hint::black_box(measure(ToolCfg::None, &p).instrs))
+        });
+        g.bench_function(format!("archer/s{s}"), |b| {
+            b.iter(|| std::hint::black_box(measure(ToolCfg::Archer, &p).instrs))
+        });
+        g.bench_function(format!("taskgrind/s{s}"), |b| {
+            b.iter(|| std::hint::black_box(measure(ToolCfg::Taskgrind, &p).instrs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lulesh);
+criterion_main!(benches);

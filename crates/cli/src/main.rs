@@ -1,0 +1,251 @@
+//! tgrind — compile a minic program and run it under an analysis tool.
+//!
+//! ```text
+//! tgrind [options] <program.c> [-- <guest args>...]
+//!
+//!   --tool=<taskgrind|archer|tasksan|romp|none>   (default: taskgrind)
+//!   --threads=<n>        OMP_NUM_THREADS analog    (default: 1)
+//!   --seed=<n>           scheduler seed            (default: 42)
+//!   --random-sched       random scheduling policy
+//!   --no-ignore-list     record runtime-internal accesses too
+//!   --keep-free          do not replace the allocator (IV-B off)
+//!   --no-suppress        disable all analysis-time suppression
+//!   --suppressions=<f>   Valgrind-style report suppression file
+//!   --parallel-analysis=<n>  analysis host threads (default: 1)
+//!   --dot=<file>         write the segment graph as Graphviz DOT
+//!   --disasm             dump the compiled guest binary and exit
+//! ```
+
+use grindcore::{SchedPolicy, VmConfig};
+use minicc::SourceFile;
+use std::process::ExitCode;
+use taskgrind::analysis::SuppressOptions;
+use taskgrind::tool::RecordOptions;
+use taskgrind::{check_module, TaskgrindConfig};
+use tg_baselines::{archer::run_archer, romp::run_romp, tasksan::run_tasksan};
+
+fn usage() -> ! {
+    eprintln!("usage: tgrind [--tool=taskgrind|archer|tasksan|romp|none] [--threads=N] [--seed=N]");
+    eprintln!("              [--random-sched] [--no-ignore-list] [--keep-free] [--no-suppress]");
+    eprintln!("              [--parallel-analysis=N] [--dot=FILE] [--disasm] <program.c> [-- args...]");
+    std::process::exit(2)
+}
+
+struct Opts {
+    tool: String,
+    threads: u64,
+    seed: u64,
+    random: bool,
+    no_ignore: bool,
+    keep_free: bool,
+    no_suppress: bool,
+    analysis_threads: usize,
+    suppressions: Option<String>,
+    dot: Option<String>,
+    disasm: bool,
+    program: String,
+    guest_args: Vec<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts {
+        tool: "taskgrind".into(),
+        threads: 1,
+        seed: 42,
+        random: false,
+        no_ignore: false,
+        keep_free: false,
+        no_suppress: false,
+        analysis_threads: 1,
+        suppressions: None,
+        dot: None,
+        disasm: false,
+        program: String::new(),
+        guest_args: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--" {
+            o.guest_args.extend(args.by_ref());
+            break;
+        } else if let Some(v) = a.strip_prefix("--tool=") {
+            o.tool = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            o.threads = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            o.seed = v.parse().unwrap_or_else(|_| usage());
+        } else if a == "--random-sched" {
+            o.random = true;
+        } else if a == "--no-ignore-list" {
+            o.no_ignore = true;
+        } else if a == "--keep-free" {
+            o.keep_free = true;
+        } else if a == "--no-suppress" {
+            o.no_suppress = true;
+        } else if let Some(v) = a.strip_prefix("--parallel-analysis=") {
+            o.analysis_threads = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = a.strip_prefix("--suppressions=") {
+            o.suppressions = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--dot=") {
+            o.dot = Some(v.to_string());
+        } else if a == "--disasm" {
+            o.disasm = true;
+        } else if a.starts_with("--") {
+            eprintln!("unknown option {a}");
+            usage();
+        } else if o.program.is_empty() {
+            o.program = a;
+        } else {
+            usage();
+        }
+    }
+    if o.program.is_empty() {
+        usage();
+    }
+    o
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let text = match std::fs::read_to_string(&o.program) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tgrind: cannot read {}: {e}", o.program);
+            return ExitCode::from(2);
+        }
+    };
+    let file = SourceFile::new(o.program.clone(), text);
+
+    let build = |tsan: bool| {
+        let r = if tsan {
+            guest_rt::build_program_tsan(std::slice::from_ref(&file))
+        } else {
+            guest_rt::build_program(std::slice::from_ref(&file))
+        };
+        r.unwrap_or_else(|e| {
+            eprintln!("tgrind: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    let vm = VmConfig {
+        nthreads: o.threads,
+        seed: o.seed,
+        sched: if o.random { SchedPolicy::Random } else { SchedPolicy::RoundRobin },
+        ..Default::default()
+    };
+    let guest_args: Vec<&str> = o.guest_args.iter().map(|s| s.as_str()).collect();
+
+    if o.disasm {
+        let m = build(false);
+        println!("{}", tga::asm::disassemble_all(&m.code, m.code_base));
+        return ExitCode::SUCCESS;
+    }
+
+    match o.tool.as_str() {
+        "none" => {
+            let m = build(false);
+            let r = grindcore::Vm::new(m, Box::new(grindcore::tool::NulTool), vm)
+                .run(grindcore::ExecMode::Fast, &guest_args);
+            print!("{}", r.stdout_str());
+            eprintln!(
+                "== tgrind(none): {} instrs, exit {:?}, deadlock={}",
+                r.metrics.instrs, r.exit_code, r.deadlock
+            );
+            ExitCode::SUCCESS
+        }
+        "archer" => {
+            let m = build(true);
+            let r = run_archer(&m, &guest_args, &vm);
+            print!("{}", r.run.stdout_str());
+            for rep in &r.reports {
+                eprintln!("{rep}");
+            }
+            eprintln!("== archer: {} report(s) in {:.3}s", r.n_reports, r.time_secs);
+            ExitCode::from(if r.n_reports > 0 { 1 } else { 0 })
+        }
+        "tasksan" => {
+            let m = build(true);
+            let r = run_tasksan(&m, &guest_args, &vm);
+            print!("{}", r.run.stdout_str());
+            for rep in &r.reports {
+                eprintln!("{rep}");
+            }
+            eprintln!("== tasksanitizer: {} report(s) in {:.3}s", r.n_reports, r.time_secs);
+            ExitCode::from(if r.n_reports > 0 { 1 } else { 0 })
+        }
+        "romp" => {
+            let m = build(false);
+            let r = run_romp(&m, &guest_args, &vm);
+            print!("{}", r.run.stdout_str());
+            for rep in &r.reports {
+                eprintln!("{rep}");
+            }
+            eprintln!(
+                "== romp: {} report(s), segv={} in {:.3}s",
+                r.n_reports, r.segv, r.time_secs
+            );
+            ExitCode::from(if r.n_reports > 0 || r.segv { 1 } else { 0 })
+        }
+        "taskgrind" => {
+            let m = build(false);
+            let cfg = TaskgrindConfig {
+                vm,
+                record: RecordOptions {
+                    ignore_list: if o.no_ignore {
+                        Vec::new()
+                    } else {
+                        taskgrind::tool::default_ignore_list()
+                    },
+                    replace_allocator: !o.keep_free,
+                    ..Default::default()
+                },
+                suppress: if o.no_suppress {
+                    SuppressOptions { tls: false, stack: false, locks: false, mutexinoutset: false }
+                } else {
+                    SuppressOptions::default()
+                },
+                analysis_threads: o.analysis_threads,
+                suppressions: match &o.suppressions {
+                    Some(path) => {
+                        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                            eprintln!("tgrind: cannot read {path}: {e}");
+                            std::process::exit(2);
+                        });
+                        taskgrind::suppressions::Suppressions::parse(&text).unwrap_or_else(|e| {
+                            eprintln!("tgrind: {e}");
+                            std::process::exit(2);
+                        })
+                    }
+                    None => Default::default(),
+                },
+            };
+            let r = check_module(&m, &guest_args, &cfg);
+            print!("{}", r.run.stdout_str());
+            if let Some(path) = &o.dot {
+                if let Err(e) = std::fs::write(path, r.graph.to_dot()) {
+                    eprintln!("tgrind: cannot write {path}: {e}");
+                }
+            }
+            eprint!("{}", r.render_all());
+            eprintln!(
+                "== taskgrind: {} report(s) ({} raw candidates) | recording {:.3}s, analysis {:.3}s | {} segments, {} instrs",
+                r.n_reports(),
+                r.analysis.candidates.len(),
+                r.recording_secs,
+                r.analysis_secs,
+                r.graph.n_nodes(),
+                r.run.metrics.instrs,
+            );
+            if r.run.deadlock {
+                eprintln!("== guest deadlocked");
+                return ExitCode::from(3);
+            }
+            ExitCode::from(if r.n_reports() > 0 { 1 } else { 0 })
+        }
+        other => {
+            eprintln!("unknown tool `{other}`");
+            usage()
+        }
+    }
+}

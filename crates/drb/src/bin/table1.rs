@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table I (experiment E1).
+//!
+//! Usage: `cargo run -p tg-drb --bin table1 --release`
+
+fn main() {
+    let corpus = tg_drb::corpus();
+    eprintln!("running {} programs x 4 tools ...", corpus.len());
+    let rows = tg_drb::table1(&corpus);
+    print!("{}", tg_drb::render(&rows));
+    let (matches, total) = tg_drb::agreement(&rows);
+    println!(
+        "\nagreement with the paper's published cells: {matches}/{total} ({:.0}%)",
+        100.0 * matches as f64 / total as f64
+    );
+}

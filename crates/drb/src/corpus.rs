@@ -1,0 +1,1053 @@
+//! The microbenchmark corpus of Table I: the task-related
+//! DataRaceBench subset (DRB) plus the seven Taskgrind-specific
+//! microbenchmarks (TMB) covering the heavyweight-DBI pitfalls of §IV.
+//!
+//! Each program is a minic port of the corresponding benchmark, with
+//! its ground truth (`racy`), the OpenMP features it exercises, and a
+//! `tasksan_ncs` flag for tests whose original source does not compile
+//! with TaskSanitizer's Clang 8 ("ncs" in Table I).
+
+/// Which suite a program belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// DataRaceBench subset (run with 4 threads).
+    Drb,
+    /// Taskgrind microbenchmarks (run with 1 and 4 threads).
+    Tmb,
+}
+
+/// One corpus entry.
+#[derive(Clone, Debug)]
+pub struct BenchProgram {
+    pub name: &'static str,
+    pub suite: Suite,
+    /// Ground truth: does the program contain a determinacy race?
+    pub racy: bool,
+    /// Original did not compile under TaskSanitizer's Clang 8.
+    pub tasksan_ncs: bool,
+    pub features: &'static [&'static str],
+    pub source: &'static str,
+}
+
+/// The full corpus in Table I order.
+pub fn corpus() -> Vec<BenchProgram> {
+    vec![
+        BenchProgram {
+            name: "027-taskdependmissing-orig",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task"],
+            source: r#"
+int main(void) {
+    int i = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(i)
+            i = 1;
+            #pragma omp task shared(i)
+            i = 2;
+        }
+    }
+    printf("i=%d\n", i);
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "072-taskdep1-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "dep-out", "dep-in"],
+            source: r#"
+int main(void) {
+    int i = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: i) shared(i)
+            i = 1;
+            #pragma omp task depend(in: i) shared(i)
+            { int j = i; printf("%d\n", j); }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "078-taskdep2-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "dep-out", "taskwait"],
+            source: r#"
+int main(void) {
+    int i = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: i) shared(i)
+            i = 1;
+            #pragma omp task depend(out: i) shared(i)
+            i = 2;
+            #pragma omp taskwait
+            printf("i=%d\n", i);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "079-taskdep3-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "dep-out", "dep-in", "taskwait"],
+            source: r#"
+int main(void) {
+    int i = 0;
+    int j = 0;
+    int k = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: i) shared(i)
+            i = 1;
+            #pragma omp task depend(in: i) depend(out: j) shared(i, j)
+            j = i + 1;
+            #pragma omp task depend(in: i) depend(out: k) shared(i, k)
+            k = i + 2;
+            #pragma omp taskwait
+            printf("%d %d\n", j, k);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "095-doall2-taskloop-orig",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: true,
+            features: &["taskloop"],
+            source: r#"
+int a[64];
+int j;
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            // the inner index j is shared across taskloop tasks: race
+            #pragma omp taskloop grainsize(2) shared(a, j)
+            for (int i = 0; i < 8; i++) {
+                for (j = 0; j < 8; j++)
+                    a[i * 8 + j] = i + j;
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "096-doall2-taskloop-collapse-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["taskloop", "collapse"],
+            source: r#"
+int a[64];
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            // collapse(2): both indices private per task — no race
+            #pragma omp taskloop collapse(2) grainsize(2) shared(a)
+            for (int i = 0; i < 8; i++) {
+                for (int j = 0; j < 8; j++)
+                    a[i * 8 + j] = i + j;
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "100-task-reference-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "taskwait"],
+            source: r#"
+int init(int *p) { *p = 10; return 0; }
+int main(void) {
+    int result = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(result)
+            init(&result);
+            #pragma omp taskwait
+            printf("%d\n", result);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "101-task-value-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "taskwait"],
+            source: r#"
+int use(int v) { return v + 1; }
+int main(void) {
+    int value = 5;
+    int result = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(result)
+            result = use(value);   // value is firstprivate
+            value = 9;
+            #pragma omp taskwait
+            printf("%d\n", result);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "106-taskwaitmissing-orig",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task"],
+            source: r#"
+int main(void) {
+    int a = 0;
+    int b = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(a)
+            a = 3;
+            #pragma omp task shared(b)
+            b = 4;
+            // missing taskwait
+            printf("%d\n", a + b);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "107-taskgroup-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "taskgroup"],
+            source: r#"
+int main(void) {
+    int result = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp taskgroup
+            {
+                #pragma omp task shared(result)
+                result = 42;
+            }
+            printf("%d\n", result);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "122-taskundeferred-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "if-clause"],
+            source: r#"
+int main(void) {
+    int var = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 10; i++) {
+                #pragma omp task shared(var) if(0)
+                var = var + 1;    // undeferred: runs before creation returns
+            }
+            printf("%d\n", var);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "123-taskundeferred-orig",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task", "if-clause"],
+            source: r#"
+int main(void) {
+    int var = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(var)
+            var = var + 10;          // deferred task ...
+            #pragma omp task shared(var) if(0)
+            var = var + 1;           // ... races with the undeferred one
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "127-tasking-threadprivate1-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "threadprivate"],
+            source: r#"
+int tp;
+#pragma omp threadprivate(tp)
+int result;
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task
+            {
+                tp = 1;              // write to threadprivate from a task
+                #pragma omp task
+                { int v = tp; }
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "128-tasking-threadprivate2-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "threadprivate"],
+            source: r#"
+int tp;
+#pragma omp threadprivate(tp)
+int main(void) {
+    #pragma omp parallel
+    {
+        tp = omp_get_thread_num();   // written by implicit tasks only
+        #pragma omp barrier
+        #pragma omp single
+        {
+            #pragma omp task
+            { int v = tp; printf("%d\n", v); }  // task only reads
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "129-mergeable-taskwait-orig",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: true,
+            features: &["task", "mergeable"],
+            source: r#"
+int main(void) {
+    int x = 2;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            // if merged, the task shares the parent's x: unsynchronized
+            #pragma omp task mergeable
+            x = x + 1;
+            printf("%d\n", x);   // no taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "130-mergeable-taskwait-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "mergeable", "taskwait"],
+            source: r#"
+int main(void) {
+    int x = 2;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task mergeable
+            x = x + 1;
+            #pragma omp taskwait
+            printf("%d\n", x);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "131-taskdep4-orig-omp45",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: true,
+            features: &["task", "dep-in", "taskwait"],
+            source: r#"
+int main(void) {
+    int x = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(in: x) shared(x)
+            { int v = x; printf("%d\n", v); }
+            #pragma omp task depend(in: x) shared(x)
+            x = 5;   // declares `in` but writes: races with the reader
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "132-taskdep4-orig-omp45",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "dep-in", "dep-inout", "taskwait"],
+            source: r#"
+int main(void) {
+    int x = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(in: x) shared(x)
+            { int v = x; printf("%d\n", v); }
+            #pragma omp task depend(inout: x) shared(x)
+            x = 5;
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "133-taskdep5-orig-omp45",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "dep-out", "dep-in", "taskwait"],
+            source: r#"
+int main(void) {
+    int a = 0;
+    int b = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: a) shared(a)
+            a = 1;
+            #pragma omp task depend(out: b) shared(b)
+            b = 2;
+            #pragma omp task depend(in: a) depend(in: b) shared(a, b)
+            printf("%d\n", a + b);
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "134-taskdep5-orig-omp45",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: true,
+            features: &["task", "dep-out", "dep-in", "taskwait"],
+            source: r#"
+int main(void) {
+    int a = 0;
+    int b = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: a) shared(a)
+            a = 1;
+            #pragma omp task depend(out: b) shared(a, b)
+            { b = 2; a = 3; }    // writes a with only an out(b) dep
+            #pragma omp task depend(in: a) shared(a)
+            printf("%d\n", a);
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "135-taskdep-mutexinoutset-orig",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "dep-mutexinoutset", "taskwait"],
+            source: r#"
+int main(void) {
+    int a = 0;
+    int b = 1;
+    int c = 2;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: c) shared(c)
+            c = 1;
+            #pragma omp task depend(out: a) shared(a)
+            a = 2;
+            #pragma omp task depend(out: b) shared(b)
+            b = 3;
+            #pragma omp task depend(in: a) depend(mutexinoutset: c) shared(a, c)
+            c = c + a;
+            #pragma omp task depend(in: b) depend(mutexinoutset: c) shared(b, c)
+            c = c + b;
+            #pragma omp taskwait
+            printf("%d\n", c);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "136-taskdep-mutexinoutset-orig",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task", "dep-mutexinoutset", "taskwait"],
+            source: r#"
+int main(void) {
+    int a = 0;
+    int b = 1;
+    int c = 2;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: c) shared(c)
+            c = 1;
+            #pragma omp task depend(out: a) shared(a)
+            a = 2;
+            #pragma omp task depend(out: b) shared(b)
+            b = 3;
+            #pragma omp task depend(in: a) depend(mutexinoutset: c) shared(a, c)
+            c = c + a;
+            // missing the mutexinoutset dependence: unordered write to c
+            #pragma omp task depend(in: b) shared(b, c)
+            c = c + b;
+            #pragma omp taskwait
+            printf("%d\n", c);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "165-taskdep4-orig-omp50",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: true,
+            features: &["task", "dep-inoutset", "taskwait"],
+            source: r#"
+int main(void) {
+    int x = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            // two inoutset members writing the same variable: members of
+            // a set are mutually unordered
+            #pragma omp task depend(inoutset: x) shared(x)
+            x = x + 1;
+            #pragma omp task depend(inoutset: x) shared(x)
+            x = x + 2;
+            #pragma omp taskwait
+            printf("%d\n", x);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "166-taskdep4-orig-omp50",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "dep-inoutset", "taskwait"],
+            source: r#"
+int a[2];
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(inoutset: a) shared(a)
+            a[0] = 1;
+            #pragma omp task depend(inoutset: a) shared(a)
+            a[1] = 2;    // set members touch disjoint cells
+            #pragma omp task depend(in: a) shared(a)
+            printf("%d\n", a[0] + a[1]);
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "167-taskdep4-orig-omp50",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: true,
+            features: &["task", "dep-out", "dep-inoutset", "taskwait"],
+            source: r#"
+int a[2];
+int total;
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: total) shared(total)
+            total = 0;
+            #pragma omp task depend(inoutset: total) shared(a, total)
+            a[0] = total;
+            #pragma omp task depend(inout: total) shared(a, total)
+            total = total + a[0];
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "168-taskdep5-orig-omp50",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: true,
+            features: &["task", "dep-inoutset"],
+            source: r#"
+int main(void) {
+    int x = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(inoutset: x) shared(x)
+            x = 1;
+            // no dependence at all: races with the set member
+            #pragma omp task shared(x)
+            printf("%d\n", x);
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "173-non-sibling-taskdep",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task", "dep-out", "non-sibling-dep"],
+            source: r#"
+int x;
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task
+            {
+                #pragma omp task depend(out: x)
+                x = 1;
+                #pragma omp taskwait
+            }
+            #pragma omp task
+            {
+                // dependences do not synchronize across parents
+                #pragma omp task depend(out: x)
+                x = 2;
+                #pragma omp taskwait
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "174-non-sibling-taskdep",
+            suite: Suite::Drb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "dep-out", "non-sibling-dep", "taskwait"],
+            source: r#"
+int x;
+int y;
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            // the parents themselves are ordered by a dependence, so the
+            // nested writers are transitively ordered
+            #pragma omp task depend(out: y)
+            {
+                #pragma omp task depend(out: x)
+                x = 1;
+                #pragma omp taskwait
+            }
+            #pragma omp task depend(inout: y)
+            {
+                #pragma omp task depend(out: x)
+                x = 2;
+                #pragma omp taskwait
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "175-non-sibling-taskdep2",
+            suite: Suite::Drb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task", "dep-out", "non-sibling-dep"],
+            source: r#"
+int x;
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: x)
+            x = 1;
+            #pragma omp task
+            {
+                // nested task's dep cannot order against the sibling of
+                // its parent
+                #pragma omp task depend(out: x)
+                x = 2;
+                #pragma omp taskwait
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        // ---- TMB: Taskgrind microbenchmarks (paper §V-A) ----
+        BenchProgram {
+            name: "1000-memory-recycling_1",
+            suite: Suite::Tmb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "malloc"],
+            source: r#"
+void tg_set_deferrable(long v);
+int main(void) {
+    tg_set_deferrable(1);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 2; i++) {
+                #pragma omp task
+                {
+                    int *x = (int*) malloc(4);
+                    x[0] = 1;
+                    free(x);
+                }
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "1001-stack_1",
+            suite: Suite::Tmb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task"],
+            source: r#"
+void tg_set_deferrable(long v);
+int main(void) {
+    tg_set_deferrable(1);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            int v = 0;
+            #pragma omp task shared(v)
+            v = 1;
+            #pragma omp task shared(v)
+            v = 2;
+            #pragma omp taskwait
+            printf("%d\n", v);
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "1002-stack_2",
+            suite: Suite::Tmb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task"],
+            source: r#"
+void tg_set_deferrable(long v);
+int main(void) {
+    tg_set_deferrable(1);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 2; i++) {
+                #pragma omp task
+                {
+                    int local = i;       // reuses the same stack slot
+                    local = local + 1;
+                }
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "1003-stack_3",
+            suite: Suite::Tmb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "taskwait"],
+            source: r#"
+void tg_set_deferrable(long v);
+int helper(int n) {
+    int buf[8];
+    for (int i = 0; i < 8; i++) buf[i] = n + i;
+    return buf[7];
+}
+int main(void) {
+    tg_set_deferrable(1);
+    int r1 = 0;
+    int r2 = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(r1)
+            r1 = helper(1);
+            #pragma omp taskwait
+            #pragma omp task shared(r2)
+            r2 = helper(2);   // same frame, but ordered by taskwait
+            #pragma omp taskwait
+        }
+    }
+    return r1 + r2;
+}
+"#,
+        },
+        BenchProgram {
+            name: "1004-stack_4",
+            suite: Suite::Tmb,
+            racy: true,
+            tasksan_ncs: false,
+            features: &["task"],
+            source: r#"
+void tg_set_deferrable(long v);
+int scribble(int *p) { *p = *p + 1; return *p; }
+int main(void) {
+    tg_set_deferrable(1);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            int v = 0;
+            int *p = &v;
+            #pragma omp task
+            scribble(p);         // p firstprivate, still aims at v
+            #pragma omp task
+            scribble(p);
+            #pragma omp taskwait
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "1005-stack_5",
+            suite: Suite::Tmb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "taskwait"],
+            source: r#"
+void tg_set_deferrable(long v);
+int main(void) {
+    tg_set_deferrable(1);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 2; i++) {
+                int v = i;
+                #pragma omp task
+                { int w = v + 1; }
+                #pragma omp taskwait   // v's slot reused only after join
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+        BenchProgram {
+            name: "1006-tls_1",
+            suite: Suite::Tmb,
+            racy: false,
+            tasksan_ncs: false,
+            features: &["task", "thread-local"],
+            source: r#"
+void tg_set_deferrable(long v);
+_Thread_local int tls_x;
+int main(void) {
+    tg_set_deferrable(1);
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 2; i++) {
+                #pragma omp task
+                tls_x = tls_x + 1;   // thread-local: no sharing
+            }
+        }
+    }
+    return 0;
+}
+"#,
+        },
+    ]
+}
+
+/// Look up a program by name.
+pub fn by_name(name: &str) -> Option<BenchProgram> {
+    corpus().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape() {
+        let c = corpus();
+        assert_eq!(c.iter().filter(|p| p.suite == Suite::Drb).count(), 29);
+        assert_eq!(c.iter().filter(|p| p.suite == Suite::Tmb).count(), 7);
+        let mut names: Vec<_> = c.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 36, "names unique");
+    }
+
+    #[test]
+    fn every_program_compiles_and_runs_clean() {
+        for p in corpus() {
+            let m = guest_rt::build_single(p.name, p.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let cfg = grindcore::VmConfig { nthreads: 2, ..Default::default() };
+            let r = grindcore::Vm::new(m, Box::new(grindcore::tool::NulTool), cfg)
+                .run(grindcore::ExecMode::Fast, &[]);
+            assert!(r.ok(), "{}: {:?} deadlock={}", p.name, r.error, r.deadlock);
+        }
+    }
+
+    #[test]
+    fn tsan_builds_work_too() {
+        for p in corpus() {
+            guest_rt::build_program_tsan(&[minicc::SourceFile::new(p.name, p.source)])
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn ground_truth_counts_match_table1() {
+        let c = corpus();
+        let drb_racy = c
+            .iter()
+            .filter(|p| p.suite == Suite::Drb && p.racy)
+            .count();
+        assert_eq!(drb_racy, 12, "12 racy DRB rows in Table I");
+        let tmb_racy = c
+            .iter()
+            .filter(|p| p.suite == Suite::Tmb && p.racy)
+            .count();
+        assert_eq!(tmb_racy, 2, "stack_1 and stack_4");
+    }
+}

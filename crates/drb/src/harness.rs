@@ -1,0 +1,217 @@
+//! The Table I harness: run every corpus program under every tool and
+//! classify the verdicts against ground truth.
+
+use crate::corpus::{BenchProgram, Suite};
+use crate::paper;
+use grindcore::VmConfig;
+use minicc::SourceFile;
+use taskgrind::{check_module, TaskgrindConfig};
+use tg_baselines::{archer::run_archer, romp::run_romp, tasksan::run_tasksan, Verdict};
+
+/// The four tools of Table I, in column order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToolId {
+    TaskSanitizer,
+    Archer,
+    Romp,
+    Taskgrind,
+}
+
+pub const ALL_TOOLS: [ToolId; 4] = [
+    ToolId::TaskSanitizer,
+    ToolId::Archer,
+    ToolId::Romp,
+    ToolId::Taskgrind,
+];
+
+impl ToolId {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ToolId::TaskSanitizer => "TaskSanitizer",
+            ToolId::Archer => "Archer",
+            ToolId::Romp => "ROMP",
+            ToolId::Taskgrind => "Taskgrind",
+        }
+    }
+}
+
+fn vm_cfg(nthreads: u64) -> VmConfig {
+    VmConfig { nthreads, ..Default::default() }
+}
+
+/// Run one program under one tool at a given thread count and classify.
+pub fn evaluate(p: &BenchProgram, tool: ToolId, nthreads: u64) -> Verdict {
+    match tool {
+        ToolId::TaskSanitizer => {
+            if p.tasksan_ncs {
+                return Verdict::Ncs;
+            }
+            let m = match guest_rt::build_program_tsan(&[SourceFile::new(p.name, p.source)]) {
+                Ok(m) => m,
+                Err(_) => return Verdict::Ncs,
+            };
+            let r = run_tasksan(&m, &[], &vm_cfg(nthreads));
+            if r.run.deadlock {
+                return Verdict::Deadlock;
+            }
+            Verdict::classify(p.racy, r.found_race())
+        }
+        ToolId::Archer => {
+            let m = match guest_rt::build_program_tsan(&[SourceFile::new(p.name, p.source)]) {
+                Ok(m) => m,
+                Err(_) => return Verdict::Ncs,
+            };
+            // Archer's outcome is schedule-dependent (the paper prints
+            // "FN/TP" and report *ranges*); aggregate over several
+            // schedules — a race reported under any of them counts.
+            let mut found = false;
+            for (seed, sched) in [
+                (42, grindcore::SchedPolicy::RoundRobin),
+                (1, grindcore::SchedPolicy::Random),
+                (2, grindcore::SchedPolicy::Random),
+                (3, grindcore::SchedPolicy::Random),
+                (4, grindcore::SchedPolicy::Random),
+                (5, grindcore::SchedPolicy::Random),
+            ] {
+                let cfg = VmConfig { nthreads, seed, sched, quantum: 16, ..Default::default() };
+                let r = run_archer(&m, &[], &cfg);
+                if r.run.deadlock {
+                    return Verdict::Deadlock;
+                }
+                found |= r.found_race();
+                if found {
+                    break;
+                }
+            }
+            Verdict::classify(p.racy, found)
+        }
+        ToolId::Romp => {
+            let m = match guest_rt::build_single(p.name, p.source) {
+                Ok(m) => m,
+                Err(_) => return Verdict::Ncs,
+            };
+            let r = run_romp(&m, &[], &vm_cfg(nthreads));
+            if r.segv {
+                return Verdict::Segv;
+            }
+            if r.run.deadlock {
+                return Verdict::Deadlock;
+            }
+            Verdict::classify(p.racy, r.found_race())
+        }
+        ToolId::Taskgrind => {
+            let m = match guest_rt::build_single(p.name, p.source) {
+                Ok(m) => m,
+                Err(_) => return Verdict::Ncs,
+            };
+            let cfg = TaskgrindConfig { vm: vm_cfg(nthreads), ..Default::default() };
+            let r = check_module(&m, &[], &cfg);
+            if r.run.deadlock {
+                return Verdict::Deadlock;
+            }
+            Verdict::classify(p.racy, r.n_reports() > 0)
+        }
+    }
+}
+
+/// One row of the reproduced Table I.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub name: String,
+    pub racy: bool,
+    /// Verdicts in [TaskSanitizer, Archer, ROMP, Taskgrind] order.
+    pub verdicts: [Verdict; 4],
+    /// Paper's published cells for comparison (empty when unlisted).
+    pub paper: [&'static str; 4],
+    pub threads: u64,
+}
+
+/// Run the full Table I experiment.
+pub fn table1(corpus: &[BenchProgram]) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for p in corpus {
+        let configs: &[u64] = match p.suite {
+            Suite::Drb => &[4],
+            Suite::Tmb => &[1, 4],
+        };
+        for &nt in configs {
+            let verdicts = [
+                evaluate(p, ToolId::TaskSanitizer, nt),
+                evaluate(p, ToolId::Archer, nt),
+                evaluate(p, ToolId::Romp, nt),
+                evaluate(p, ToolId::Taskgrind, nt),
+            ];
+            rows.push(Table1Row {
+                name: p.name.to_string(),
+                racy: p.racy,
+                verdicts,
+                paper: paper::expected(p.name, nt),
+                threads: nt,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the reproduced table (with paper cells in parentheses when
+/// they differ).
+pub fn render(rows: &[Table1Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<36} {:>5} {:>4} | {:>14} {:>12} {:>12} {:>12}",
+        "benchmark", "race", "nt", "TaskSanitizer", "Archer", "ROMP", "Taskgrind"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(108));
+    for r in rows {
+        let cell = |i: usize| {
+            let got = r.verdicts[i].cell();
+            let want = r.paper[i];
+            if want.is_empty() || want == got || want.contains(got) {
+                got.to_string()
+            } else {
+                format!("{got} (paper {want})")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<36} {:>5} {:>4} | {:>14} {:>12} {:>12} {:>12}",
+            r.name,
+            if r.racy { "yes" } else { "no" },
+            r.threads,
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3)
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(108));
+    for (i, tool) in ALL_TOOLS.iter().enumerate() {
+        let fns = rows.iter().filter(|r| r.verdicts[i].is_fn()).count();
+        let fps = rows
+            .iter()
+            .filter(|r| r.verdicts[i] == Verdict::FalsePositive)
+            .count();
+        let _ = writeln!(out, "{:>14}: {} false negatives, {} false positives", tool.name(), fns, fps);
+    }
+    out
+}
+
+/// Cells where our reproduction matches the paper exactly.
+pub fn agreement(rows: &[Table1Row]) -> (usize, usize) {
+    let mut matches = 0;
+    let mut total = 0;
+    for r in rows {
+        for i in 0..4 {
+            if r.paper[i].is_empty() {
+                continue;
+            }
+            total += 1;
+            if r.paper[i].contains(r.verdicts[i].cell()) {
+                matches += 1;
+            }
+        }
+    }
+    (matches, total)
+}

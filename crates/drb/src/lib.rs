@@ -1,0 +1,19 @@
+//! tg-drb — the Table I microbenchmark corpus and harness.
+//!
+//! [`corpus()`] holds minic ports of the task-related DataRaceBench
+//! subset and the seven TMB microbenchmarks; [`harness`] runs every
+//! (program × tool × thread-count) cell and classifies verdicts;
+//! [`paper`] embeds the published Table I for paper-vs-measured
+//! agreement reporting. Regenerate the table with
+//! `cargo run -p tg-drb --bin table1 --release`.
+
+pub mod bots;
+pub mod corpus;
+pub mod extra;
+pub mod harness;
+pub mod paper;
+
+pub use corpus::{by_name, corpus, BenchProgram, Suite};
+pub use bots::bots_corpus;
+pub use extra::extra_corpus;
+pub use harness::{agreement, evaluate, render, table1, Table1Row, ToolId, ALL_TOOLS};

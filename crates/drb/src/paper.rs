@@ -1,0 +1,102 @@
+//! The published cells of the paper's Table I, used to report
+//! paper-vs-measured agreement (EXPERIMENTS.md, E1).
+//!
+//! Cells are `[TaskSanitizer, Archer, ROMP, Taskgrind]`. The paper
+//! prints "FN/TP" for schedule-dependent Archer outcomes; we keep the
+//! compound string and count either as a match. Note the paper lists
+//! "TP" for TaskSanitizer on 174 although the row is not racy — we
+//! transcribe it verbatim.
+
+/// Published verdicts for a benchmark at a thread count.
+pub fn expected(name: &str, threads: u64) -> [&'static str; 4] {
+    match (name, threads) {
+        ("027-taskdependmissing-orig", _) => ["TP", "FN", "TP", "TP"],
+        ("072-taskdep1-orig", _) => ["TN", "TN", "TN", "TN"],
+        ("078-taskdep2-orig", _) => ["TN", "TN", "TN", "FP"],
+        ("079-taskdep3-orig", _) => ["ncs", "TN", "TN", "FP"],
+        ("095-doall2-taskloop-orig", _) => ["ncs", "TP", "TP", "TP"],
+        ("096-doall2-taskloop-collapse-orig", _) => ["ncs", "TN", "TN", "FP"],
+        ("100-task-reference-orig", _) => ["ncs", "FP", "TN", "FP"],
+        ("101-task-value-orig", _) => ["FP", "FP", "TN", "FP"],
+        ("106-taskwaitmissing-orig", _) => ["TP", "TP", "TP", "TP"],
+        ("107-taskgroup-orig", _) => ["FP", "TN", "TN", "FP"],
+        ("122-taskundeferred-orig", _) => ["FP", "TN", "FP", "TN"],
+        ("123-taskundeferred-orig", _) => ["TP", "TP", "TP", "TP"],
+        ("127-tasking-threadprivate1-orig", _) => ["ncs", "TN", "segv", "FP"],
+        ("128-tasking-threadprivate2-orig", _) => ["ncs", "TN", "TN", "FP"],
+        ("129-mergeable-taskwait-orig", _) => ["ncs", "FN", "FN", "FN"],
+        ("130-mergeable-taskwait-orig", _) => ["ncs", "TN", "TN", "TN"],
+        ("131-taskdep4-orig-omp45", _) => ["ncs", "TP", "TP", "TP"],
+        ("132-taskdep4-orig-omp45", _) => ["ncs", "TN", "TN", "TN"],
+        ("133-taskdep5-orig-omp45", _) => ["ncs", "TN", "TN", "TN"],
+        ("134-taskdep5-orig-omp45", _) => ["ncs", "TP", "TP", "TP"],
+        ("135-taskdep-mutexinoutset-orig", _) => ["ncs", "TN", "FP", "TN"],
+        ("136-taskdep-mutexinoutset-orig", _) => ["TP", "TP", "TP", "TP"],
+        ("165-taskdep4-orig-omp50", _) => ["ncs", "FN", "TP", "TP"],
+        ("166-taskdep4-orig-omp50", _) => ["ncs", "TN", "TN", "TN"],
+        ("167-taskdep4-orig-omp50", _) => ["ncs", "TN", "TN", "TN"],
+        ("168-taskdep5-orig-omp50", _) => ["ncs", "TP", "TP", "TP"],
+        ("173-non-sibling-taskdep", _) => ["FN", "FN", "FN", "TP"],
+        ("174-non-sibling-taskdep", _) => ["TP", "TN", "TN", "FP"],
+        ("175-non-sibling-taskdep2", _) => ["FN", "TP", "TP", "TP"],
+        ("1000-memory-recycling_1", 1) => ["TN", "TN", "TN", "TN"],
+        ("1001-stack_1", 1) => ["TP", "FN", "FN", "TP"],
+        ("1002-stack_2", 1) => ["TN", "TN", "TN", "TN"],
+        ("1003-stack_3", 1) => ["FP", "TN", "TN", "TN"],
+        ("1004-stack_4", 1) => ["TP", "FN", "TP", "TP"],
+        ("1005-stack_5", 1) => ["FP", "TN", "TN", "TN"],
+        ("1006-tls_1", 1) => ["FP", "TN", "TN", "TN"],
+        ("1000-memory-recycling_1", 4) => ["TN", "TN", "TN", "FP"],
+        ("1001-stack_1", 4) => ["TP", "FN/TP", "TP", "TP"],
+        ("1002-stack_2", 4) => ["TN", "TN", "TN", "FP"],
+        ("1003-stack_3", 4) => ["TN", "TN", "TN", "TN"],
+        ("1004-stack_4", 4) => ["TP", "TP", "TP", "TP"],
+        ("1005-stack_5", 4) => ["TN", "TN", "TN", "TN"],
+        ("1006-tls_1", 4) => ["FP", "TN", "TN", "FP"],
+        _ => ["", "", "", ""],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::corpus;
+
+    #[test]
+    fn every_corpus_row_has_paper_cells() {
+        for p in corpus() {
+            let threads: &[u64] = match p.suite {
+                crate::corpus::Suite::Drb => &[4],
+                crate::corpus::Suite::Tmb => &[1, 4],
+            };
+            for &nt in threads {
+                let cells = expected(p.name, nt);
+                assert!(
+                    cells.iter().all(|c| !c.is_empty()),
+                    "missing paper cells for {} @{}",
+                    p.name,
+                    nt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_taskgrind_has_exactly_one_fn() {
+        // the paper's headline: Taskgrind's only FN is DRB129
+        let mut fns = 0;
+        for p in corpus() {
+            let threads: &[u64] = match p.suite {
+                crate::corpus::Suite::Drb => &[4],
+                crate::corpus::Suite::Tmb => &[1, 4],
+            };
+            for &nt in threads {
+                if expected(p.name, nt)[3] == "FN" {
+                    fns += 1;
+                    assert_eq!(p.name, "129-mergeable-taskwait-orig");
+                }
+            }
+        }
+        assert_eq!(fns, 1);
+    }
+}

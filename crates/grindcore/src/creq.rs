@@ -1,0 +1,116 @@
+//! Client-request ABI between the guest runtime and the tool.
+//!
+//! Valgrind client requests let the instrumented program forward
+//! information to the tool (paper §II-B). Here the guest-side parallel
+//! runtime (`libomp.mc`, compiled by minicc) executes `clreq`
+//! instructions with a request code in `a0` and arguments in `a1..a5`;
+//! `grindcore` routes them to [`crate::tool::Tool::client_request`].
+//!
+//! This module is the single source of truth for the request codes: the
+//! minic runtime sources reference the same numeric values (checked by a
+//! test in `guest-rt`).
+
+/// A parallel region begins. args: `[nthreads]` → returns region id.
+pub const PARALLEL_BEGIN: u64 = 0x1000;
+/// A parallel region ends. args: `[region_id]`.
+pub const PARALLEL_END: u64 = 0x1001;
+/// A team thread starts its implicit task. args: `[region_id, index]`.
+pub const IMPLICIT_TASK_BEGIN: u64 = 0x1002;
+/// A team thread finishes its implicit task. args: `[region_id, index]`.
+pub const IMPLICIT_TASK_END: u64 = 0x1003;
+
+/// An explicit task is created. args: `[flags, creation_pc]` → task id.
+/// `creation_pc` is the guest address of the task construct (for reports);
+/// pass 0 to let the tool use the current pc.
+pub const TASK_CREATE: u64 = 0x1010;
+/// Register a dependence of a task. args: `[task_id, addr, len, kind]`
+/// with `kind` one of the `DEP_*` constants.
+pub const TASK_DEP: u64 = 0x1011;
+/// A thread begins executing a task body. args: `[task_id]`.
+pub const TASK_BEGIN: u64 = 0x1012;
+/// A thread finished a task body. args: `[task_id]`.
+pub const TASK_END: u64 = 0x1013;
+/// The current task waits for its children. args: `[]`.
+pub const TASKWAIT: u64 = 0x1014;
+/// A detached task's completion event was fulfilled
+/// (`omp_fulfill_event`). args: `[task_id]`. Accesses before the
+/// fulfill happen-before everything waiting on the task.
+pub const TASK_FULFILL: u64 = 0x101B;
+/// A created task is handed to the scheduler (becomes runnable).
+/// args: `[task_id]`. The creator's segment splits *here*, not at
+/// TASK_CREATE: code between allocation and spawn (payload filling,
+/// dependence registration) happens-before the child.
+pub const TASK_SPAWN: u64 = 0x101A;
+/// Taskgroup begin / end. args: `[]`.
+pub const TASKGROUP_BEGIN: u64 = 0x1015;
+pub const TASKGROUP_END: u64 = 0x1016;
+/// Team barrier. args: `[region_id]`.
+pub const BARRIER: u64 = 0x1017;
+/// Named critical section. args: `[lock_id]`.
+pub const CRITICAL_ENTER: u64 = 0x1018;
+pub const CRITICAL_EXIT: u64 = 0x1019;
+
+/// User annotation (paper §V-B): treat runtime-serialized (included)
+/// tasks as semantically deferrable. args: `[enable]`.
+pub const USER_DEFERRABLE: u64 = 0x1050;
+
+/// Task flag bits passed to [`TASK_CREATE`].
+pub mod task_flags {
+    /// The runtime will execute the task immediately on the creating
+    /// thread (undeferred), e.g. because of `if(0)`.
+    pub const UNDEFERRED: u64 = 1 << 0;
+    /// The task is *included*: executed immediately in the creating
+    /// task's environment (LLVM does this for every task when running
+    /// on a single thread — the behaviour behind the paper's
+    /// single-thread experiments).
+    pub const INCLUDED: u64 = 1 << 1;
+    pub const FINAL: u64 = 1 << 2;
+    pub const MERGEABLE: u64 = 1 << 3;
+    pub const UNTIED: u64 = 1 << 4;
+    /// The task has a `detach` clause: it completes only when its event
+    /// is fulfilled, not when its body returns.
+    pub const DETACHED: u64 = 1 << 5;
+}
+
+/// Dependence kinds for [`TASK_DEP`].
+pub mod dep_kind {
+    pub const IN: u64 = 0;
+    pub const OUT: u64 = 1;
+    pub const INOUT: u64 = 2;
+    pub const MUTEXINOUTSET: u64 = 3;
+    pub const INOUTSET: u64 = 4;
+}
+
+/// All request codes, for validation.
+pub const ALL: &[u64] = &[
+    PARALLEL_BEGIN,
+    PARALLEL_END,
+    IMPLICIT_TASK_BEGIN,
+    IMPLICIT_TASK_END,
+    TASK_CREATE,
+    TASK_DEP,
+    TASK_BEGIN,
+    TASK_END,
+    TASKWAIT,
+    TASK_SPAWN,
+    TASK_FULFILL,
+    TASKGROUP_BEGIN,
+    TASKGROUP_END,
+    BARRIER,
+    CRITICAL_ENTER,
+    CRITICAL_EXIT,
+    USER_DEFERRABLE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let mut v = ALL.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), ALL.len());
+    }
+}

@@ -1,0 +1,245 @@
+//! IR optimization — grindcore's analog of VEX's `iropt`.
+//!
+//! The `-O0`-style guest code the compiler emits is dense with
+//! `Get`/`Put` traffic and literal arithmetic; Valgrind runs a
+//! tree-building/redundancy pass before handing blocks to the tool.
+//! This pass performs, in one forward walk:
+//!
+//! * **copy propagation** — `t = atom` definitions are substituted into
+//!   later uses and dropped;
+//! * **register forwarding** — a `Get` of a register whose block-local
+//!   value is known (from a previous `Put` or `Get`) becomes that value;
+//!   `Put`s are never removed, so the architectural state at every side
+//!   exit and at block end stays exact;
+//! * **constant folding** — binops/unops over constants are evaluated
+//!   (division by a constant zero is left in place to preserve the
+//!   guest trap).
+//!
+//! Memory operations, atomics and dirty calls are never touched, so
+//! tool instrumentation sees exactly the same access stream — only the
+//! scaffolding around it shrinks. Runs *before* instrumentation, like
+//! Valgrind's pipeline.
+
+use vex_ir::{eval_binop, eval_unop, Atom, BinOp, IrBlock, Rhs, Stmt};
+
+/// Optimize a lifted block. Semantics-preserving by construction (see
+/// the module docs); verified by the differential test suite.
+pub fn optimize(mut block: IrBlock) -> IrBlock {
+    let n = block.n_temps as usize;
+    // substitution for temps that turned out to be pure copies/constants
+    let mut subst: Vec<Option<Atom>> = vec![None; n];
+    // block-local known register contents
+    let mut regs: [Option<Atom>; tga::NUM_REGS] = [None; tga::NUM_REGS];
+
+    let resolve = |a: &Atom, subst: &[Option<Atom>]| -> Atom {
+        match a {
+            Atom::Tmp(t) => subst[t.0 as usize].unwrap_or(*a),
+            c => *c,
+        }
+    };
+
+    let mut out: Vec<Stmt> = Vec::with_capacity(block.stmts.len());
+    for stmt in block.stmts.drain(..) {
+        match stmt {
+            Stmt::IMark { .. } => out.push(stmt),
+            Stmt::WrTmp { dst, rhs } => {
+                let rhs = match rhs {
+                    Rhs::Atom(a) => Rhs::Atom(resolve(&a, &subst)),
+                    Rhs::Get { reg } => Rhs::Get { reg },
+                    Rhs::Load { ty, addr } => Rhs::Load { ty, addr: resolve(&addr, &subst) },
+                    Rhs::Binop { op, lhs, rhs } => Rhs::Binop {
+                        op,
+                        lhs: resolve(&lhs, &subst),
+                        rhs: resolve(&rhs, &subst),
+                    },
+                    Rhs::Unop { op, x } => Rhs::Unop { op, x: resolve(&x, &subst) },
+                    Rhs::Ite { cond, then, els } => Rhs::Ite {
+                        cond: resolve(&cond, &subst),
+                        then: resolve(&then, &subst),
+                        els: resolve(&els, &subst),
+                    },
+                };
+                match rhs {
+                    // pure copy: substitute, drop the definition
+                    Rhs::Atom(a) => subst[dst.0 as usize] = Some(a),
+                    // register with known content: forward it
+                    Rhs::Get { reg } => {
+                        if let Some(a) = regs[reg as usize] {
+                            subst[dst.0 as usize] = Some(a);
+                        } else {
+                            regs[reg as usize] = Some(Atom::Tmp(dst));
+                            out.push(Stmt::WrTmp { dst, rhs: Rhs::Get { reg } });
+                        }
+                    }
+                    // constant folding
+                    Rhs::Binop { op, lhs: Atom::Const(a), rhs: Atom::Const(b) } => {
+                        let div0 = matches!(op, BinOp::DivS | BinOp::RemS) && b == 0;
+                        match (div0, eval_binop(op, a, b)) {
+                            (false, Some(v)) => subst[dst.0 as usize] = Some(Atom::Const(v)),
+                            _ => out.push(Stmt::WrTmp {
+                                dst,
+                                rhs: Rhs::Binop { op, lhs: Atom::Const(a), rhs: Atom::Const(b) },
+                            }),
+                        }
+                    }
+                    Rhs::Unop { op, x: Atom::Const(x) } => {
+                        subst[dst.0 as usize] = Some(Atom::Const(eval_unop(op, x)));
+                    }
+                    Rhs::Ite { cond: Atom::Const(c), then, els } => {
+                        subst[dst.0 as usize] = Some(if c != 0 { then } else { els });
+                    }
+                    other => out.push(Stmt::WrTmp { dst, rhs: other }),
+                }
+            }
+            Stmt::Put { reg, src } => {
+                let src = resolve(&src, &subst);
+                regs[reg as usize] = Some(src);
+                out.push(Stmt::Put { reg, src });
+            }
+            Stmt::Store { ty, addr, val } => out.push(Stmt::Store {
+                ty,
+                addr: resolve(&addr, &subst),
+                val: resolve(&val, &subst),
+            }),
+            Stmt::Cas { dst, addr, expected, new } => out.push(Stmt::Cas {
+                dst,
+                addr: resolve(&addr, &subst),
+                expected: resolve(&expected, &subst),
+                new: resolve(&new, &subst),
+            }),
+            Stmt::AtomicAdd { dst, addr, val } => out.push(Stmt::AtomicAdd {
+                dst,
+                addr: resolve(&addr, &subst),
+                val: resolve(&val, &subst),
+            }),
+            Stmt::Dirty { call, args, dst } => out.push(Stmt::Dirty {
+                call,
+                args: args.iter().map(|a| resolve(a, &subst)).collect(),
+                dst,
+            }),
+            Stmt::Exit { guard, target, kind } => {
+                let guard = resolve(&guard, &subst);
+                // a statically-false side exit disappears
+                if guard != Atom::Const(0) {
+                    out.push(Stmt::Exit { guard, target, kind });
+                }
+            }
+        }
+    }
+    block.stmts = out;
+    block.next = resolve(&block.next, &subst);
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::lift_superblock;
+    use tga::asm::assemble;
+    use tga::module::{Module, CODE_BASE};
+    use vex_ir::sanity;
+
+    fn lift(src: &str) -> IrBlock {
+        let (code, _) = assemble(src, CODE_BASE).unwrap();
+        let mut m = Module::new();
+        m.code = code;
+        lift_superblock(&m, CODE_BASE).unwrap()
+    }
+
+    fn count_kind(b: &IrBlock, pred: fn(&Stmt) -> bool) -> usize {
+        b.stmts.iter().filter(|s| pred(s)).count()
+    }
+
+    #[test]
+    fn redundant_gets_are_forwarded() {
+        // five instructions all reading sp: one Get survives
+        let b = lift("addi t0, sp, -8\n addi t1, sp, -16\n addi t2, sp, -24\n add t3, sp, t0\n halt");
+        let o = optimize(b.clone());
+        sanity::assert_sane(&o, "optimized");
+        let gets = |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Get { .. }, .. }));
+        assert!(gets(&b) >= 5);
+        assert_eq!(gets(&o), 1, "{}", vex_ir::pretty::block_to_string(&o));
+    }
+
+    #[test]
+    fn constants_fold_through_li_chains() {
+        let b = lift("li t0, 6\n li t1, 7\n mul t2, t0, t1\n addi t2, t2, 0\n halt");
+        let o = optimize(b);
+        sanity::assert_sane(&o, "optimized");
+        // the final Put of t2 must receive the folded 42
+        let put42 = o
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Put { src: Atom::Const(42), .. }));
+        assert!(put42, "{}", vex_ir::pretty::block_to_string(&o));
+        // no Binop statements survive
+        assert_eq!(
+            count_kind(&o, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Binop { .. }, .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn division_by_constant_zero_is_preserved() {
+        let b = lift("li t0, 5\n li t1, 0\n div t2, t0, t1\n halt");
+        let o = optimize(b);
+        assert_eq!(
+            count_kind(&o, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Binop { .. }, .. })),
+            1,
+            "the trapping division must survive"
+        );
+    }
+
+    #[test]
+    fn puts_are_never_removed() {
+        let b = lift("li a0, 1\n li a0, 2\n li a0, 3\n halt");
+        let o = optimize(b);
+        assert_eq!(count_kind(&o, |s| matches!(s, Stmt::Put { .. })), 3);
+    }
+
+    #[test]
+    fn memory_operations_untouched() {
+        let b = lift("ld t0, 8(sp)\n st t0, 16(sp)\n cas t1, (a0), t2\n amoadd t3, (a0), t2\n halt");
+        let o = optimize(b.clone());
+        sanity::assert_sane(&o, "optimized");
+        let loads = |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Load { .. }, .. }));
+        let stores = |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::Store { .. }));
+        assert_eq!(loads(&b), loads(&o));
+        assert_eq!(stores(&b), stores(&o));
+        assert_eq!(count_kind(&o, |s| matches!(s, Stmt::Cas { .. })), 1);
+        assert_eq!(count_kind(&o, |s| matches!(s, Stmt::AtomicAdd { .. })), 1);
+    }
+
+    #[test]
+    fn statically_dead_exits_disappear_and_taken_branches_fold() {
+        // beq t0, t0 with equal constants folds the guard to 1
+        let b = lift("li t0, 4\n li t1, 4\n bne t0, t1, 0x0\n nop");
+        let o = optimize(b);
+        assert_eq!(count_kind(&o, |s| matches!(s, Stmt::Exit { .. })), 0, "4 != 4 never taken");
+        let b = lift("li t0, 4\n li t1, 4\n beq t0, t1, 0x9990\n nop");
+        let o = optimize(b);
+        // guard folded to constant 1: exit survives (always taken)
+        assert!(o
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Exit { guard: Atom::Const(1), .. })));
+    }
+
+    #[test]
+    fn put_then_get_forwards_across() {
+        let b = lift("li a0, 9\n add t0, a0, zero\n add t1, a0, t0\n halt");
+        let o = optimize(b);
+        sanity::assert_sane(&o, "optimized");
+        // a0's content (9) is known: no Get of a0 remains and the adds fold
+        assert_eq!(
+            count_kind(&o, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Get { .. }, .. })),
+            0,
+            "{}",
+            vex_ir::pretty::block_to_string(&o)
+        );
+        assert!(o
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Put { src: Atom::Const(18), .. })));
+    }
+}

@@ -1,0 +1,35 @@
+//! Guest syscall numbers.
+//!
+//! The `sys` instruction carries its syscall number in the immediate;
+//! arguments are in `a0..a5` and the result lands in the instruction's
+//! `rd`. These are the OS services grindcore provides to the guest —
+//! the analog of the syscalls Valgrind intercepts and forwards.
+
+/// Terminate the whole program. args: `[exit_code]`.
+pub const EXIT: i64 = 0;
+/// Write bytes to a stream. args: `[fd, buf, len]` → bytes written.
+/// Only fd 1 (stdout) and 2 (stderr) are supported.
+pub const WRITE: i64 = 1;
+/// Grow the heap break. args: `[delta]` → previous break address.
+pub const SBRK: i64 = 2;
+/// Spawn a guest thread. args: `[entry, arg]` → new tid.
+/// The thread starts at `entry` with `a0 = arg`, a fresh stack and a
+/// fresh TLS block; returning from `entry` exits the thread.
+pub const THREAD_CREATE: i64 = 3;
+/// Exit the calling thread. args: `[]`.
+pub const THREAD_EXIT: i64 = 4;
+/// Block until thread `tid` exits. args: `[tid]`.
+pub const THREAD_JOIN: i64 = 5;
+/// Block while `mem64[addr] == expected`. args: `[addr, expected]`.
+pub const FUTEX_WAIT: i64 = 6;
+/// Wake up to `count` waiters on `addr`. args: `[addr, count]` → woken.
+pub const FUTEX_WAKE: i64 = 7;
+/// Yield the scheduler slot. args: `[]`.
+pub const YIELD: i64 = 8;
+/// Emulated clock: instructions executed so far. args: `[]` → count.
+pub const CLOCK: i64 = 9;
+/// Deterministic PRNG (seeded by `VmConfig::seed`). args: `[]` → u64.
+pub const RAND: i64 = 10;
+/// The configured worker-thread count (the `OMP_NUM_THREADS` analog).
+/// args: `[]` → count.
+pub const NTHREADS: i64 = 11;

@@ -1,0 +1,50 @@
+//! Regenerates the paper's Fig. 4 (experiment E3): execution time and
+//! memory overhead on LULESH as the problem size `-s` varies, with
+//! `-tel 4 -tnl 4 -p -i 4`. The reference and Archer run with 4
+//! threads, Taskgrind with 1 (exactly the paper's setup).
+//!
+//! Usage:
+//!   cargo run -p tg-lulesh --bin fig4 --release            # s = 4..16
+//!   cargo run -p tg-lulesh --bin fig4 --release -- --full  # s = 4..32
+//!   cargo run -p tg-lulesh --bin fig4 --release -- --romp  # include ROMP
+//!
+//! Output is CSV: one row per (s, tool) with seconds, memory and the
+//! overhead factors relative to the uninstrumented reference.
+
+use tg_lulesh::harness::{measure, LuleshParams, ToolCfg};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let full = argv.iter().any(|a| a == "--full");
+    let with_romp = argv.iter().any(|a| a == "--romp");
+    let sizes: &[u64] = if full { &[4, 8, 12, 16, 24, 32] } else { &[4, 8, 12, 16] };
+
+    println!("s,tool,threads,time_secs,mem_bytes,time_overhead,mem_overhead,reports,instrs");
+    for &s in sizes {
+        let refp = LuleshParams { s, threads: 4, ..Default::default() };
+        let none = measure(ToolCfg::None, &refp);
+        let archer = measure(ToolCfg::Archer, &refp);
+        let tgp = LuleshParams { s, threads: 1, ..Default::default() };
+        let tg = measure(ToolCfg::Taskgrind, &tgp);
+        let mut rows = vec![none.clone(), archer, tg];
+        if with_romp {
+            rows.push(measure(ToolCfg::Romp, &tgp));
+        }
+        for m in rows {
+            println!(
+                "{},{},{},{:.4},{},{:.1},{:.2},{},{}",
+                s,
+                m.tool.name().replace(' ', "-"),
+                m.params.threads,
+                m.time_secs,
+                m.mem_bytes,
+                m.time_secs / none.time_secs.max(1e-9),
+                m.mem_bytes as f64 / none.mem_bytes.max(1) as f64,
+                m.reports,
+                m.instrs,
+            );
+        }
+    }
+    eprintln!("expected shape: O(s^3) growth for every curve; taskgrind >> archer >> none in time;");
+    eprintln!("taskgrind > archer > none in memory; ROMP (if enabled) grows far faster in memory.");
+}

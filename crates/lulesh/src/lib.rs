@@ -1,0 +1,271 @@
+//! tg-lulesh — a dependent task-based mini-LULESH proxy and the
+//! Table II / Fig. 4 harnesses.
+//!
+//! The paper evaluates on a task-based OpenMP port of LULESH (the
+//! Livermore Sedov-blast hydrodynamics proxy) with parameters
+//! `-s` (mesh size, O(s³) time and memory), `-tel`/`-tnl` (tasks per
+//! element/node loop), `-i` (iterations) and `-p` (progress). Our port
+//! keeps the structure that matters for the experiments:
+//!
+//! * five phases per iteration (force → velocity/position → energy →
+//!   EOS → volume), each decomposed into `tel`/`tnl` explicit tasks;
+//! * inter-phase ordering expressed with task dependences, using
+//!   `inoutset` phase sentinels (phase writers are mutually unordered,
+//!   the next phase's readers wait for the whole set);
+//! * a **racy variant**: passing `-racy` redirects the energy phase's
+//!   input dependence on the node-advance phase to a dummy sentinel —
+//!   the removed-dependence experiment of Table II, producing genuine
+//!   determinacy races between the velocity writers and energy readers;
+//! * the §V-B annotation `tg_set_deferrable(1)`, so single-threaded
+//!   Taskgrind still sees the declared task graph while Archer sees a
+//!   serialized execution (0 reports — the Table II contrast).
+
+pub mod harness;
+
+/// The mini-LULESH source (minic).
+pub const LULESH_MC: &str = r#"
+// mini-LULESH: dependent task-based hydrodynamics proxy.
+// usage: lulesh -s <size> -tel <n> -tnl <n> -i <iters> [-p] [-racy]
+
+void tg_set_deferrable(long v);
+
+int N;          // elements = s^3
+int M;          // nodes = (s+1)^3
+int TEL;        // tasks per element loop
+int TNL;        // tasks per node loop
+int ITERS;
+int PROGRESS;
+int RACY;
+
+double *p;      // element pressure
+double *q;      // element viscosity
+double *e;      // element energy
+double *v;      // element volume
+double *f;      // node force
+double *xd;     // node velocity
+double *xp;     // node position
+
+// phase sentinels for dependences
+int f_ph;
+int xd_ph;
+int e_ph;
+int pq_ph;
+int v_ph;
+int dummy_ph;
+
+long el_lo(long c) { return c * N / TEL; }
+long el_hi(long c) { return (c + 1) * N / TEL; }
+long nd_lo(long c) { return c * M / TNL; }
+long nd_hi(long c) { return (c + 1) * M / TNL; }
+
+void calc_force(long lo, long hi) {
+    for (long n = lo; n < hi; n++) {
+        long i = n;
+        if (i >= N) i = N - 1;
+        long j = i - 1;
+        if (j < 0) j = 0;
+        f[n] = (p[i] - p[j]) + 0.25 * (q[i] + q[j]);
+    }
+}
+
+void advance_nodes(long lo, long hi) {
+    double dt = 0.001;
+    for (long n = lo; n < hi; n++) {
+        xd[n] = xd[n] + f[n] * dt;
+        xp[n] = xp[n] + xd[n] * dt;
+    }
+}
+
+void calc_energy(long lo, long hi) {
+    for (long i = lo; i < hi; i++) {
+        long n = i;
+        long m = i + 1;
+        double work = (xd[m] - xd[n]) * (p[i] + q[i]);
+        double enew = e[i] - 0.5 * work;
+        if (enew < 0.0) enew = 0.0;
+        e[i] = enew;
+    }
+}
+
+void calc_eos(long lo, long hi) {
+    for (long i = lo; i < hi; i++) {
+        double c1s = 2.0 / 3.0;
+        p[i] = c1s * e[i] / v[i];
+        double ss = sqrt(c1s * e[i]);
+        q[i] = 0.1 * ss * fabs(xd[i] - xd[i + 1]);
+    }
+}
+
+void update_volume(long lo, long hi) {
+    for (long i = lo; i < hi; i++) {
+        double dv = (xp[i + 1] - xp[i]) * 0.01;
+        double vnew = v[i] + dv;
+        if (vnew < 0.1) vnew = 0.1;
+        v[i] = vnew;
+    }
+}
+
+void iterate(void) {
+    for (long it = 0; it < ITERS; it++) {
+        for (long c = 0; c < TNL; c++) {
+            long lo = nd_lo(c);
+            long hi = nd_hi(c);
+            #pragma omp task depend(in: pq_ph) depend(inoutset: f_ph)
+            calc_force(lo, hi);
+        }
+        for (long c = 0; c < TNL; c++) {
+            long lo = nd_lo(c);
+            long hi = nd_hi(c);
+            #pragma omp task depend(in: f_ph) depend(inoutset: xd_ph)
+            advance_nodes(lo, hi);
+        }
+        for (long c = 0; c < TEL; c++) {
+            long lo = el_lo(c);
+            long hi = el_hi(c);
+            if (RACY) {
+                // the removed dependence of Table II: the energy phase no
+                // longer waits for the node-advance phase, so its reads
+                // of xd race with advance_nodes' writes
+                #pragma omp task depend(in: dummy_ph) depend(in: pq_ph) depend(inoutset: e_ph)
+                calc_energy(lo, hi);
+            } else {
+                #pragma omp task depend(in: xd_ph) depend(in: pq_ph) depend(inoutset: e_ph)
+                calc_energy(lo, hi);
+            }
+        }
+        for (long c = 0; c < TEL; c++) {
+            long lo = el_lo(c);
+            long hi = el_hi(c);
+            #pragma omp task depend(in: e_ph) depend(in: v_ph) depend(inoutset: pq_ph)
+            calc_eos(lo, hi);
+        }
+        for (long c = 0; c < TEL; c++) {
+            long lo = el_lo(c);
+            long hi = el_hi(c);
+            #pragma omp task depend(in: xd_ph) depend(inoutset: v_ph)
+            update_volume(lo, hi);
+        }
+        if (PROGRESS) {
+            #pragma omp taskwait
+            printf("iteration %d done, e[0]=%f\n", it, e[0]);
+        }
+    }
+}
+
+int main(int argc, char **argv) {
+    long s = 8;
+    TEL = 4;
+    TNL = 4;
+    ITERS = 4;
+    PROGRESS = 0;
+    RACY = 0;
+    for (int a = 1; a < argc; a++) {
+        if (strcmp(argv[a], "-s") == 0) { a++; s = atoi(argv[a]); }
+        else if (strcmp(argv[a], "-tel") == 0) { a++; TEL = atoi(argv[a]); }
+        else if (strcmp(argv[a], "-tnl") == 0) { a++; TNL = atoi(argv[a]); }
+        else if (strcmp(argv[a], "-i") == 0) { a++; ITERS = atoi(argv[a]); }
+        else if (strcmp(argv[a], "-p") == 0) { PROGRESS = 1; }
+        else if (strcmp(argv[a], "-racy") == 0) { RACY = 1; }
+    }
+    N = s * s * s;
+    M = (s + 1) * (s + 1) * (s + 1);
+
+    p = (double*) malloc(N * 8);
+    q = (double*) malloc(N * 8);
+    e = (double*) malloc(N * 8);
+    v = (double*) malloc(N * 8);
+    f = (double*) malloc(M * 8);
+    xd = (double*) malloc(M * 8);
+    xp = (double*) malloc(M * 8);
+
+    for (long i = 0; i < N; i++) {
+        p[i] = 1.0;
+        q[i] = 0.0;
+        e[i] = 0.0;
+        v[i] = 1.0;
+    }
+    e[0] = 3.948746e5;   // Sedov point charge at the origin
+    for (long n = 0; n < M; n++) {
+        f[n] = 0.0;
+        xd[n] = 0.0;
+        xp[n] = (double) n;
+    }
+
+    // paper V-B: tell the tool that tasks are semantically deferrable
+    // even when the runtime serializes them on a single thread
+    tg_set_deferrable(1);
+
+    #pragma omp parallel
+    {
+        #pragma omp single
+        iterate();
+    }
+
+    printf("final e[0]=%f p[0]=%f\n", e[0], p[0]);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grindcore::tool::NulTool;
+    use grindcore::{ExecMode, Vm, VmConfig};
+
+    fn run_plain(args: &[&str], nthreads: u64) -> grindcore::RunResult {
+        let m = guest_rt::build_single("lulesh.c", LULESH_MC).expect("compiles");
+        let cfg = VmConfig { nthreads, ..Default::default() };
+        Vm::new(m, Box::new(NulTool), cfg).run(ExecMode::Fast, args)
+    }
+
+    #[test]
+    fn runs_and_produces_sane_output() {
+        let r = run_plain(&["-s", "4", "-tel", "2", "-tnl", "2", "-i", "2"], 1);
+        assert!(r.ok(), "{:?} deadlock={}", r.error, r.deadlock);
+        let out = r.stdout_str();
+        assert!(out.contains("final e[0]="), "{out}");
+        assert!(!out.contains("e[0]=-"), "energy must stay non-negative: {out}");
+    }
+
+    #[test]
+    fn multithreaded_matches_sequential_when_not_racy() {
+        let r1 = run_plain(&["-s", "4", "-i", "3"], 1);
+        let r4 = run_plain(&["-s", "4", "-i", "3"], 4);
+        assert!(r1.ok() && r4.ok(), "{:?} {:?}", r1.error, r4.error);
+        assert_eq!(
+            r1.stdout_str(),
+            r4.stdout_str(),
+            "dependences make the computation deterministic"
+        );
+    }
+
+    #[test]
+    fn progress_flag_prints_each_iteration() {
+        let r = run_plain(&["-s", "2", "-i", "3", "-p"], 2);
+        assert!(r.ok(), "{:?}", r.error);
+        assert_eq!(r.stdout_str().matches("iteration").count(), 3);
+    }
+
+    #[test]
+    fn problem_size_scales_memory_cubically() {
+        // fixed costs (code, stacks) dominate tiny meshes; the *growth*
+        // between sizes shows the O(s^3) array footprint
+        let m4 = run_plain(&["-s", "4", "-i", "1"], 1).metrics.guest_footprint as f64;
+        let m8 = run_plain(&["-s", "8", "-i", "1"], 1).metrics.guest_footprint as f64;
+        let m16 = run_plain(&["-s", "16", "-i", "1"], 1).metrics.guest_footprint as f64;
+        let d1 = m8 - m4;
+        let d2 = m16 - m8;
+        assert!(
+            d2 > 4.0 * d1.max(1.0),
+            "growth must be ~cubic: d(4→8)={d1} d(8→16)={d2}"
+        );
+    }
+
+    #[test]
+    fn racy_flag_changes_only_the_dependences() {
+        // execution still completes; values may differ, but must be finite
+        let r = run_plain(&["-s", "4", "-i", "2", "-racy"], 4);
+        assert!(r.ok(), "{:?}", r.error);
+        assert!(r.stdout_str().contains("final e[0]="));
+    }
+}

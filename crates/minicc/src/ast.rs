@@ -1,0 +1,358 @@
+//! Abstract syntax tree for minic, including the OpenMP/Cilk constructs
+//! that the lowering in `codegen` outlines into runtime calls.
+
+/// A minic type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    Void,
+    /// 64-bit signed integer (`int` and `long` are both 64-bit here).
+    Int,
+    /// IEEE double.
+    Double,
+    /// 8-bit integer.
+    Char,
+    Ptr(Box<Type>),
+    /// Fixed-size array (locals/globals only; decays to `Ptr` in rvalues).
+    Array(Box<Type>, u64),
+}
+
+impl Type {
+    /// Size in bytes when stored in memory.
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Int | Type::Double | Type::Ptr(_) => 8,
+            Type::Char => 1,
+            Type::Array(e, n) => e.size() * n,
+        }
+    }
+
+    pub fn is_double(&self) -> bool {
+        matches!(self, Type::Double)
+    }
+
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Array(..))
+    }
+
+    /// Element type of a pointer or array.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The rvalue type: arrays decay to pointers.
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(e, _) => Type::Ptr(e.clone()),
+            t => t.clone(),
+        }
+    }
+}
+
+/// Binary operators (after parsing; `&&`/`||` kept for short-circuit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LAnd,
+    LOr,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Expressions, each carrying the source line for diagnostics/debug info.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    CharLit(u8),
+    /// Variable reference.
+    Var(String, u32),
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    Un {
+        op: UnOp,
+        x: Box<Expr>,
+        line: u32,
+    },
+    /// `cond ? a : b`
+    Cond {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+        line: u32,
+    },
+    /// `lhs = rhs` (or compound `op=`, pre-expanded by the parser).
+    Assign {
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    /// Pre/post increment/decrement.
+    IncDec {
+        target: Box<Expr>,
+        inc: bool,
+        post: bool,
+        line: u32,
+    },
+    /// `*p`
+    Deref(Box<Expr>, u32),
+    /// `&lv`
+    AddrOf(Box<Expr>, u32),
+    /// `a[i]`
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        line: u32,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Cast {
+        ty: Type,
+        x: Box<Expr>,
+        line: u32,
+    },
+    SizeofType(Type),
+    /// `cilk_spawn f(args)` in expression position.
+    CilkSpawn {
+        call: Box<Expr>,
+        line: u32,
+    },
+}
+
+impl Expr {
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Var(_, l)
+            | Expr::Bin { line: l, .. }
+            | Expr::Un { line: l, .. }
+            | Expr::Cond { line: l, .. }
+            | Expr::Assign { line: l, .. }
+            | Expr::IncDec { line: l, .. }
+            | Expr::Deref(_, l)
+            | Expr::AddrOf(_, l)
+            | Expr::Index { line: l, .. }
+            | Expr::Call { line: l, .. }
+            | Expr::Cast { line: l, .. }
+            | Expr::CilkSpawn { line: l, .. } => *l,
+            _ => 0,
+        }
+    }
+}
+
+/// Dependence kinds in `depend(...)` clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    In,
+    Out,
+    Inout,
+    Mutexinoutset,
+    Inoutset,
+}
+
+/// One `depend(kind: items)` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Depend {
+    pub kind: DepKind,
+    /// Lvalue expressions; the dependence address is `&item`.
+    pub items: Vec<Expr>,
+}
+
+/// Clauses of `#pragma omp task`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskClauses {
+    pub depends: Vec<Depend>,
+    pub shared: Vec<String>,
+    pub firstprivate: Vec<String>,
+    pub if_expr: Option<Expr>,
+    pub final_expr: Option<Expr>,
+    pub untied: bool,
+    pub mergeable: bool,
+    /// `detach(evt)`: the named variable receives the completion event
+    /// handle; the task completes on `omp_fulfill_event(evt)`.
+    pub detach: Option<String>,
+}
+
+/// Clauses of `#pragma omp taskloop`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskloopClauses {
+    pub grainsize: Option<Expr>,
+    pub num_tasks: Option<Expr>,
+    /// `collapse(n)`; we honour n=1 exactly, n>1 by chunking the
+    /// outermost loop (documented simplification).
+    pub collapse: u32,
+    pub shared: Vec<String>,
+    pub nogroup: bool,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Local declaration. `init` may be None.
+    Decl {
+        ty: Type,
+        name: String,
+        init: Option<Expr>,
+        line: u32,
+    },
+    Expr(Expr),
+    Block(Vec<Stmt>),
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+        line: u32,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    Return(Option<Expr>, u32),
+    Break(u32),
+    Continue(u32),
+
+    // --- OpenMP constructs (attached pragmas, lowered in codegen) ---
+    OmpParallel {
+        num_threads: Option<Expr>,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    OmpSingle {
+        nowait: bool,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    OmpMaster {
+        body: Box<Stmt>,
+        line: u32,
+    },
+    OmpCritical {
+        name: Option<String>,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    OmpTask {
+        clauses: TaskClauses,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    OmpTaskwait(u32),
+    OmpTaskgroup {
+        body: Box<Stmt>,
+        line: u32,
+    },
+    OmpBarrier(u32),
+    /// `#pragma omp taskloop` on a canonical `for` loop.
+    OmpTaskloop {
+        clauses: TaskloopClauses,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    /// `cilk_sync;`
+    CilkSync(u32),
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    pub ty: Type,
+    pub name: String,
+}
+
+/// A function definition or prototype.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    pub ret: Type,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub variadic: bool,
+    /// None for prototypes.
+    pub body: Option<Vec<Stmt>>,
+    pub line: u32,
+}
+
+/// Initializer of a global.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GlobalInit {
+    None,
+    Int(i64),
+    Double(f64),
+    Str(String),
+}
+
+/// A global variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Global {
+    pub ty: Type,
+    pub name: String,
+    pub init: GlobalInit,
+    /// `_Thread_local` (or listed in `#pragma omp threadprivate`).
+    pub thread_local: bool,
+    /// Specifically from `#pragma omp threadprivate` (some tools treat
+    /// OpenMP threadprivate differently from C11 `_Thread_local`).
+    pub threadprivate: bool,
+    pub line: u32,
+}
+
+/// One parsed translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Unit {
+    pub functions: Vec<Function>,
+    pub globals: Vec<Global>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes_and_decay() {
+        assert_eq!(Type::Int.size(), 8);
+        assert_eq!(Type::Char.size(), 1);
+        assert_eq!(Type::Ptr(Box::new(Type::Char)).size(), 8);
+        let arr = Type::Array(Box::new(Type::Double), 10);
+        assert_eq!(arr.size(), 80);
+        assert_eq!(arr.decayed(), Type::Ptr(Box::new(Type::Double)));
+        assert_eq!(arr.pointee(), Some(&Type::Double));
+        assert_eq!(Type::Int.decayed(), Type::Int);
+    }
+}

@@ -1,0 +1,525 @@
+//! Compiler driver: multi-TU compilation, global layout, code layout,
+//! relocation and module assembly.
+//!
+//! `compile` accepts all translation units of a program at once (user
+//! sources plus the guest runtime sources from `guest-rt`) and produces
+//! one executable [`tga::module::Module`] — the multi-TU pass plays the
+//! role of the linker. Each [`SourceFile`] carries its own `tsan` flag so
+//! user code can be compile-time instrumented (the Archer model) while
+//! the runtime stays uninstrumented — exactly the false-negative surface
+//! the paper attributes to compile-time instrumentation.
+
+use crate::ast::{GlobalInit, Type, Unit};
+use crate::codegen::{Binding, FnGen};
+use crate::parser::parse;
+use std::collections::{HashMap, HashSet};
+use tga::module::{LineInfo, Module, SymKind, Symbol, CODE_BASE, SECTION_ALIGN};
+use tga::{reg, Inst, Op, INST_SIZE};
+
+/// One input file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    pub name: String,
+    pub text: String,
+    /// Insert `__tsan_*` calls before potentially-shared accesses
+    /// (compile-time instrumentation, the Archer/TaskSanitizer model).
+    pub tsan: bool,
+}
+
+impl SourceFile {
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        SourceFile { name: name.into(), text: text.into(), tsan: false }
+    }
+
+    pub fn with_tsan(name: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        SourceFile { name: name.into(), text: text.into(), tsan: true }
+    }
+}
+
+/// A compilation error, attributed to a file and line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError {
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: error: {}", self.file, self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An unresolved reference recorded during code generation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reloc {
+    /// Absolute address of a function.
+    Func(String),
+    /// `data_base + offset`.
+    Data(u64),
+    /// Absolute address of instruction `idx` in the same function.
+    CodeLocal(usize),
+}
+
+/// A generated function body awaiting layout.
+#[derive(Clone, Debug)]
+pub struct FnBuf {
+    pub name: String,
+    pub file_id: u32,
+    pub insts: Vec<Inst>,
+    /// (instruction index, reloc) — patched into `imm` at layout.
+    pub relocs: Vec<(usize, Reloc)>,
+    /// (instruction index, source line) markers.
+    pub lines: Vec<(usize, u32)>,
+    /// (instruction index, label id) — resolved to `CodeLocal` relocs.
+    pub label_refs: Vec<(usize, usize)>,
+}
+
+impl FnBuf {
+    pub fn new(name: String, file_id: u32) -> FnBuf {
+        FnBuf { name, file_id, insts: Vec::new(), relocs: Vec::new(), lines: Vec::new(), label_refs: Vec::new() }
+    }
+}
+
+/// Function signature visible to call sites.
+#[derive(Clone, Debug)]
+pub struct FnSig {
+    pub ret: Type,
+    pub params: Vec<Type>,
+    pub variadic: bool,
+    pub defined: bool,
+}
+
+struct GlobalSlot {
+    off: u64,
+    ty: Type,
+    tls: bool,
+    threadprivate: bool,
+}
+
+/// Shared compiler state across all function generations.
+pub struct Compiler {
+    pub fn_bufs: Vec<FnBuf>,
+    fn_sigs: HashMap<String, FnSig>,
+    globals: HashMap<String, GlobalSlot>,
+    /// Initialized data image (globals first, then interned strings).
+    data: Vec<u8>,
+    tls_image: Vec<u8>,
+    strings: HashMap<String, u64>,
+    criticals: HashMap<String, u64>,
+    called: HashSet<String>,
+    outline_counter: usize,
+    files: Vec<String>,
+    /// (data offset of pointer-sized global) -> (data offset it points to);
+    /// patched once `data_base` is known.
+    data_ptr_fixups: Vec<(u64, u64)>,
+}
+
+impl Compiler {
+    /// Look up a global as a codegen binding.
+    pub fn global_binding(&self, name: &str) -> Option<Binding> {
+        self.globals.get(name).map(|g| {
+            if g.tls {
+                Binding::Tls { off: g.off, ty: g.ty.clone() }
+            } else {
+                Binding::Global { off: g.off, ty: g.ty.clone() }
+            }
+        })
+    }
+
+    pub fn fn_sig(&self, name: &str) -> Option<&FnSig> {
+        self.fn_sigs.get(name)
+    }
+
+    pub fn note_called(&mut self, name: &str) {
+        self.called.insert(name.to_string());
+    }
+
+    /// Stable id for a named (or unnamed) critical section.
+    pub fn critical_id(&mut self, name: Option<&str>) -> u64 {
+        let key = name.unwrap_or("<unnamed>").to_string();
+        let next = self.criticals.len() as u64;
+        *self.criticals.entry(key).or_insert(next)
+    }
+
+    /// Fresh name for an outlined function.
+    pub fn fresh_outlined(&mut self, parent: &str, kind: &str) -> String {
+        self.outline_counter += 1;
+        // Outlined names keep the user function as prefix so symbol-based
+        // ignore-lists never confuse them with runtime internals.
+        let base = parent.split('.').next().unwrap_or(parent);
+        format!("{base}.{kind}.{}", self.outline_counter)
+    }
+
+    /// Intern a string literal in the data image; returns its offset.
+    pub fn intern_string(&mut self, s: &str) -> u64 {
+        if let Some(&off) = self.strings.get(s) {
+            return off;
+        }
+        let off = self.data.len() as u64;
+        self.data.extend_from_slice(s.as_bytes());
+        self.data.push(0);
+        // Keep everything 8-aligned for simplicity.
+        while !self.data.len().is_multiple_of(8) {
+            self.data.push(0);
+        }
+        self.strings.insert(s.to_string(), off);
+        off
+    }
+}
+
+/// Compile and link a set of translation units into an executable module.
+pub fn compile(files: &[SourceFile]) -> Result<Module, CompileError> {
+    let mut units: Vec<(Unit, u32, bool)> = Vec::new();
+    let mut cc = Compiler {
+        fn_bufs: Vec::new(),
+        fn_sigs: HashMap::new(),
+        globals: HashMap::new(),
+        data: Vec::new(),
+        tls_image: Vec::new(),
+        strings: HashMap::new(),
+        criticals: HashMap::new(),
+        called: HashSet::new(),
+        outline_counter: 0,
+        files: Vec::new(),
+        data_ptr_fixups: Vec::new(),
+    };
+
+    for (i, f) in files.iter().enumerate() {
+        let unit = parse(&f.text)
+            .map_err(|e| CompileError { file: f.name.clone(), line: e.line, msg: e.msg })?;
+        cc.files.push(f.name.clone());
+        units.push((unit, i as u32, f.tsan));
+    }
+
+    // Pass 1: globals.
+    for (unit, file_id, _) in &units {
+        for g in &unit.globals {
+            if cc.globals.contains_key(&g.name) {
+                return Err(CompileError {
+                    file: files[*file_id as usize].name.clone(),
+                    line: g.line,
+                    msg: format!("duplicate global `{}`", g.name),
+                });
+            }
+            let size = (g.ty.size().max(1) + 7) & !7;
+            let image = if g.thread_local { &mut cc.tls_image } else { &mut cc.data };
+            let off = image.len() as u64;
+            image.resize(image.len() + size as usize, 0);
+            let err = |msg: &str| CompileError {
+                file: files[*file_id as usize].name.clone(),
+                line: g.line,
+                msg: msg.to_string(),
+            };
+            match &g.init {
+                GlobalInit::None => {}
+                GlobalInit::Int(v) => {
+                    let bytes = if g.ty.size() == 1 {
+                        vec![*v as u8]
+                    } else {
+                        v.to_le_bytes().to_vec()
+                    };
+                    let image =
+                        if g.thread_local { &mut cc.tls_image } else { &mut cc.data };
+                    image[off as usize..off as usize + bytes.len()].copy_from_slice(&bytes);
+                }
+                GlobalInit::Double(v) => {
+                    let image =
+                        if g.thread_local { &mut cc.tls_image } else { &mut cc.data };
+                    image[off as usize..off as usize + 8]
+                        .copy_from_slice(&v.to_bits().to_le_bytes());
+                }
+                GlobalInit::Str(s) => {
+                    if g.thread_local {
+                        return Err(err("string initializer for thread-local unsupported"));
+                    }
+                    let soff = cc.intern_string(s);
+                    cc.data_ptr_fixups.push((off, soff));
+                }
+            }
+            cc.globals.insert(
+                g.name.clone(),
+                GlobalSlot { off, ty: g.ty.clone(), tls: g.thread_local, threadprivate: g.threadprivate },
+            );
+        }
+    }
+
+    // Pass 2: function signatures.
+    for (unit, file_id, _) in &units {
+        for f in &unit.functions {
+            let sig = FnSig {
+                ret: f.ret.clone(),
+                params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                variadic: f.variadic,
+                defined: f.body.is_some(),
+            };
+            match cc.fn_sigs.get_mut(&f.name) {
+                Some(existing) => {
+                    if existing.defined && sig.defined {
+                        return Err(CompileError {
+                            file: files[*file_id as usize].name.clone(),
+                            line: f.line,
+                            msg: format!("duplicate definition of `{}`", f.name),
+                        });
+                    }
+                    // The variadic flag is sticky across prototype and
+                    // definition (libc declares `printf(char*, ...)` and
+                    // defines it with an explicit register window).
+                    let variadic = existing.variadic || sig.variadic;
+                    if sig.defined {
+                        *existing = sig;
+                    }
+                    existing.variadic = variadic;
+                }
+                None => {
+                    cc.fn_sigs.insert(f.name.clone(), sig);
+                }
+            }
+        }
+    }
+
+    // Pass 3: code generation.
+    for (unit, file_id, tsan) in &units {
+        for f in &unit.functions {
+            let Some(body) = &f.body else { continue };
+            FnGen::generate(
+                &mut cc,
+                &f.name,
+                *file_id,
+                *tsan,
+                f.ret.clone(),
+                &f.params,
+                body,
+                None,
+                f.line,
+            )
+            .map_err(|e| CompileError {
+                file: files[*file_id as usize].name.clone(),
+                line: e.line,
+                msg: e.msg,
+            })?;
+        }
+    }
+
+    // Pass 4: synthesize `_start`.
+    if !cc.fn_sigs.get("main").is_some_and(|s| s.defined) {
+        return Err(CompileError { file: "<link>".into(), line: 0, msg: "no `main` defined".into() });
+    }
+    let mut start = FnBuf::new("_start".into(), 0);
+    start.insts.push(Inst::new(Op::Add, reg::S1, reg::A0, reg::ZERO, 0));
+    start.insts.push(Inst::new(Op::Add, reg::S1 + 1, reg::A1, reg::ZERO, 0));
+    if cc.fn_sigs.get("__libc_init").is_some_and(|s| s.defined) {
+        let idx = start.insts.len();
+        start.insts.push(Inst::new(Op::Jal, reg::RA, 0, 0, 0));
+        start.relocs.push((idx, Reloc::Func("__libc_init".into())));
+    }
+    start.insts.push(Inst::new(Op::Add, reg::A0, reg::S1, reg::ZERO, 0));
+    start.insts.push(Inst::new(Op::Add, reg::A1, reg::S1 + 1, reg::ZERO, 0));
+    let idx = start.insts.len();
+    start.insts.push(Inst::new(Op::Jal, reg::RA, 0, 0, 0));
+    start.relocs.push((idx, Reloc::Func("main".into())));
+    start.insts.push(Inst::new(Op::Sys, reg::ZERO, 0, 0, grindcore_exit_num()));
+    start.insts.push(Inst::new(Op::Halt, 0, 0, 0, 0));
+    cc.fn_bufs.push(start);
+
+    // Undefined-function check.
+    for name in &cc.called {
+        if !cc.fn_sigs.get(name).is_some_and(|s| s.defined) {
+            return Err(CompileError {
+                file: "<link>".into(),
+                line: 0,
+                msg: format!("undefined function `{name}` (missing runtime library?)"),
+            });
+        }
+    }
+
+    // Pass 5: layout + relocation.
+    let mut fn_addr: HashMap<String, u64> = HashMap::new();
+    let mut addr = CODE_BASE;
+    for b in &cc.fn_bufs {
+        fn_addr.insert(b.name.clone(), addr);
+        addr += b.insts.len() as u64 * INST_SIZE;
+    }
+    let code_end = addr;
+    let data_base = (code_end + SECTION_ALIGN - 1) & !(SECTION_ALIGN - 1);
+
+    let mut module = Module::new();
+    module.code_base = CODE_BASE;
+    module.data_base = data_base;
+    for (goff, soff) in &cc.data_ptr_fixups {
+        let p = data_base + soff;
+        cc.data[*goff as usize..*goff as usize + 8].copy_from_slice(&p.to_le_bytes());
+    }
+    module.data = cc.data;
+    module.tls_template = cc.tls_image;
+    module.entry = fn_addr["_start"];
+
+    for b in &cc.fn_bufs {
+        let base = fn_addr[&b.name];
+        let mut insts = b.insts.clone();
+        for (idx, r) in &b.relocs {
+            let value = match r {
+                Reloc::Func(name) => *fn_addr.get(name).ok_or_else(|| CompileError {
+                    file: "<link>".into(),
+                    line: 0,
+                    msg: format!("undefined function `{name}`"),
+                })?,
+                Reloc::Data(off) => data_base + off,
+                Reloc::CodeLocal(target) => base + *target as u64 * INST_SIZE,
+            };
+            insts[*idx].imm = value as i64;
+        }
+        module.symbols.push(Symbol {
+            name: b.name.clone(),
+            addr: base,
+            size: insts.len() as u64 * INST_SIZE,
+            kind: SymKind::Func,
+        });
+        for (iidx, line) in &b.lines {
+            module.lines.push(LineInfo {
+                addr: base + *iidx as u64 * INST_SIZE,
+                file: b.file_id,
+                line: *line,
+            });
+        }
+        module.code.extend(insts);
+    }
+    for (name, g) in &cc.globals {
+        module.symbols.push(Symbol {
+            name: name.clone(),
+            addr: if g.tls { g.off } else { data_base + g.off },
+            size: g.ty.size().max(1),
+            kind: if g.tls { SymKind::Tls } else { SymKind::Data },
+        });
+        if g.threadprivate {
+            // marker symbol: tools can tell OpenMP threadprivate storage
+            // apart from plain C11 thread-locals
+            module.symbols.push(Symbol {
+                name: format!("__omp_tp${name}"),
+                addr: g.off,
+                size: g.ty.size().max(1),
+                kind: SymKind::Tls,
+            });
+        }
+    }
+    module.files = cc.files;
+    module.finalize();
+    Ok(module)
+}
+
+fn grindcore_exit_num() -> i64 {
+    // Syscall numbers are defined by grindcore; 0 is EXIT. Kept as a
+    // function so the contract is greppable from both sides.
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI_RT: &str = r#"
+int main(void);
+void exit_(int c) { __sys(0, c); }
+"#;
+
+    #[test]
+    fn compiles_trivial_program() {
+        let m = compile(&[
+            SourceFile::new("rt.mc", MINI_RT),
+            SourceFile::new("a.mc", "int main(void) { return 41 + 1; }"),
+        ])
+        .unwrap();
+        assert!(m.symbol_by_name("main").is_some());
+        assert!(m.symbol_by_name("_start").is_some());
+        assert_eq!(m.entry, m.symbol_by_name("_start").unwrap().addr);
+        assert!(m.code.len() > 8);
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let e = compile(&[SourceFile::new("a.mc", "int foo(void) { return 1; }")]).unwrap_err();
+        assert!(e.msg.contains("main"));
+    }
+
+    #[test]
+    fn rejects_undefined_function() {
+        let e = compile(&[SourceFile::new("a.mc", "int main(void) { return frobnicate(); }")])
+            .unwrap_err();
+        assert!(e.msg.contains("unknown function") || e.msg.contains("undefined function"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        let e = compile(&[SourceFile::new(
+            "a.mc",
+            "int f(void){return 1;} int f(void){return 2;} int main(void){return f();}",
+        )])
+        .unwrap_err();
+        assert!(e.msg.contains("duplicate definition"));
+    }
+
+    #[test]
+    fn globals_are_laid_out_with_initializers() {
+        let m = compile(&[SourceFile::new(
+            "a.mc",
+            "int g = 7;\ndouble d = 1.5;\nchar *s = \"hi\";\nint main(void){ return g; }",
+        )])
+        .unwrap();
+        let g = m.symbol_by_name("g").unwrap();
+        assert_eq!(g.kind, SymKind::Data);
+        let off = (g.addr - m.data_base) as usize;
+        assert_eq!(
+            i64::from_le_bytes(m.data[off..off + 8].try_into().unwrap()),
+            7
+        );
+        let d = m.symbol_by_name("d").unwrap();
+        let off = (d.addr - m.data_base) as usize;
+        assert_eq!(
+            f64::from_bits(u64::from_le_bytes(m.data[off..off + 8].try_into().unwrap())),
+            1.5
+        );
+        // string pointer global points into the data image at "hi"
+        let s = m.symbol_by_name("s").unwrap();
+        let off = (s.addr - m.data_base) as usize;
+        let p = u64::from_le_bytes(m.data[off..off + 8].try_into().unwrap());
+        let soff = (p - m.data_base) as usize;
+        assert_eq!(&m.data[soff..soff + 2], b"hi");
+    }
+
+    #[test]
+    fn tls_globals_go_to_template() {
+        let m = compile(&[SourceFile::new(
+            "a.mc",
+            "_Thread_local int t = 9;\nint main(void){ return t; }",
+        )])
+        .unwrap();
+        let t = m.symbol_by_name("t").unwrap();
+        assert_eq!(t.kind, SymKind::Tls);
+        assert_eq!(
+            i64::from_le_bytes(m.tls_template[t.addr as usize..t.addr as usize + 8].try_into().unwrap()),
+            9
+        );
+    }
+
+    #[test]
+    fn line_table_is_emitted() {
+        let m = compile(&[SourceFile::new(
+            "prog.c",
+            "int main(void) {\n  int x = 1;\n  x = x + 1;\n  return x;\n}",
+        )])
+        .unwrap();
+        let main = m.symbol_by_name("main").unwrap();
+        let loc = m.line_for(main.addr).unwrap();
+        assert_eq!(loc.file, "prog.c");
+        assert_eq!(loc.line, 1);
+        // some instruction in the middle should map to line 2 or 3
+        let mid = m
+            .lines
+            .iter()
+            .find(|l| l.line >= 2 && l.line <= 3)
+            .expect("body lines present");
+        assert!(mid.addr > main.addr);
+    }
+}

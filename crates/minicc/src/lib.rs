@@ -1,0 +1,26 @@
+//! minicc — a mini-C compiler with OpenMP/Cilk support targeting the
+//! TGA guest ISA.
+//!
+//! The paper's workloads (DataRaceBench subset, TMB microbenchmarks,
+//! LULESH) are C programs with OpenMP pragmas compiled by Clang at
+//! `-O0`; minicc plays Clang's role for the reproduction. It supports
+//! the C subset those programs need — `int`/`double`/`char`, pointers,
+//! fixed arrays, thread-locals — and lowers
+//! `#pragma omp parallel/single/master/critical/task/taskwait/taskgroup/
+//! barrier/taskloop/threadprivate` plus `cilk_spawn`/`cilk_sync` into
+//! calls to the guest runtime (`guest-rt`), outlining bodies exactly the
+//! way Clang does (context pointers, firstprivate payload copies).
+//!
+//! Entry point: [`compile()`], which takes every translation unit of the
+//! program (user code + runtime libraries) and returns an executable
+//! [`tga::module::Module`]. Per-file `tsan` flags insert `__tsan_*`
+//! calls for the compile-time-instrumented baselines.
+
+pub mod ast;
+pub mod codegen;
+pub mod compile;
+pub mod omp;
+pub mod parser;
+pub mod token;
+
+pub use compile::{compile, CompileError, SourceFile};

@@ -1,0 +1,673 @@
+//! OpenMP / Cilk lowering: outlining, capture planning and runtime calls.
+//!
+//! The lowering mirrors Clang's: each `parallel`/`task` body becomes an
+//! outlined function taking a context pointer. For `parallel`, every
+//! captured variable is shared (context slots hold addresses). For
+//! `task`, the OpenMP implicit data-sharing rules for our subset apply:
+//! a variable is shared if it is listed in `shared(...)` **or** if it was
+//! already a shared capture of the enclosing outlined region (that is how
+//! "shared in all enclosing contexts" manifests after outlining);
+//! everything else is firstprivate and its value is copied into the task
+//! payload at creation time.
+//!
+//! Task payloads live right after the runtime's task descriptor at
+//! [`TASK_PAYLOAD_OFF`]; the guest runtime (`libomp.mc`) uses the same
+//! constant.
+
+use crate::ast::*;
+use crate::codegen::{Binding, Capture, CaptureKind, FnGen, GenError};
+use std::collections::HashSet;
+use tga::{reg, Inst, Op};
+
+/// Offset of the capture-payload *pointer* inside a runtime task
+/// descriptor. The payload itself is a separate allocation from the
+/// runtime's built-in allocator (`__kmp_fast_alloc`), which is why
+/// Taskgrind must extend its allocator replacement beyond libc malloc —
+/// the paper's §IV-B future-work item, implemented here.
+pub const TASK_PAYLOAD_OFF: i64 = 64;
+
+/// Task flag bits (must match `grindcore::creq::task_flags` and libomp).
+pub const FLAG_UNDEFERRED: i64 = 1 << 0;
+pub const FLAG_FINAL: i64 = 1 << 2;
+pub const FLAG_MERGEABLE: i64 = 1 << 3;
+pub const FLAG_UNTIED: i64 = 1 << 4;
+pub const FLAG_DETACHED: i64 = 1 << 5;
+
+const T0: u8 = reg::T0;
+const T1: u8 = reg::T1;
+
+type GResult<T> = Result<T, GenError>;
+
+impl<'c> FnGen<'c> {
+    pub(crate) fn gen_omp(&mut self, s: &Stmt) -> GResult<()> {
+        match s {
+            Stmt::OmpParallel { num_threads, body, line } => {
+                self.gen_parallel(num_threads.as_ref(), body, *line)
+            }
+            Stmt::OmpSingle { nowait, body, line } => {
+                self.set_line(*line);
+                let l_skip = self.new_label();
+                self.call_rt("__kmp_single_begin", &[]);
+                self.emit_move_t0_from_a0();
+                self.emit_branch_eqz(l_skip);
+                self.gen_stmt(body)?;
+                self.call_rt("__kmp_single_end", &[]);
+                self.place_label(l_skip);
+                if !nowait {
+                    self.call_rt("__kmp_barrier", &[]);
+                }
+                Ok(())
+            }
+            Stmt::OmpMaster { body, line } => {
+                self.set_line(*line);
+                let l_skip = self.new_label();
+                self.call_rt("__kmp_thread_num", &[]);
+                self.emit_move_t0_from_a0();
+                self.emit_branch_nez(l_skip);
+                self.gen_stmt(body)?;
+                self.place_label(l_skip);
+                Ok(())
+            }
+            Stmt::OmpCritical { name, body, line } => {
+                self.set_line(*line);
+                let id = self.cc.critical_id(name.as_deref());
+                self.emit(Inst::new(Op::Li, reg::A0, 0, 0, id as i64));
+                self.emit_call_raw("__kmp_critical_begin");
+                self.gen_stmt(body)?;
+                self.emit(Inst::new(Op::Li, reg::A0, 0, 0, id as i64));
+                self.emit_call_raw("__kmp_critical_end");
+                Ok(())
+            }
+            Stmt::OmpTask { clauses, body, line } => self.gen_task(clauses, body, *line),
+            Stmt::OmpTaskwait(line) => {
+                self.set_line(*line);
+                self.call_rt("__kmp_taskwait", &[]);
+                Ok(())
+            }
+            Stmt::OmpTaskgroup { body, line } => {
+                self.set_line(*line);
+                self.call_rt("__kmp_taskgroup_begin", &[]);
+                self.gen_stmt(body)?;
+                self.call_rt("__kmp_taskgroup_end", &[]);
+                Ok(())
+            }
+            Stmt::OmpBarrier(line) => {
+                self.set_line(*line);
+                self.call_rt("__kmp_barrier", &[]);
+                Ok(())
+            }
+            Stmt::OmpTaskloop { clauses, body, line } => self.gen_taskloop(clauses, body, *line),
+            Stmt::CilkSync(line) => {
+                self.set_line(*line);
+                self.call_rt("__cilk_sync", &[]);
+                Ok(())
+            }
+            _ => unreachable!("gen_omp called on non-OpenMP statement"),
+        }
+    }
+
+    fn gen_parallel(&mut self, num_threads: Option<&Expr>, body: &Stmt, line: u32) -> GResult<()> {
+        self.set_line(line);
+        // Every free variable of the region that is function-local here
+        // is captured by reference (shared is the parallel default).
+        let caps: Vec<Capture> = self
+            .free_local_vars(body)
+            .into_iter()
+            .map(|(name, ty)| Capture { name, kind: CaptureKind::Ref, inner_ty: ty })
+            .collect();
+        let fname = self.cc.fresh_outlined(&self.buf.name, "_omp_fn");
+        self.outline(&fname, body, &caps, line)?;
+
+        // Build the context array on the stack.
+        let ctx_off = self.alloc_ctx(caps.len().max(1));
+        for (i, c) in caps.iter().enumerate() {
+            self.addr_of_var(&c.name, line)?;
+            self.emit(Inst::new(Op::St, 0, reg::FP, T0, -ctx_off + (i as i64) * 8));
+        }
+        // a2 = requested thread count (0 = runtime default)
+        if let Some(e) = num_threads {
+            self.eval(e)?;
+            self.emit(Inst::new(Op::Add, reg::A2, T0, reg::ZERO, 0));
+        } else {
+            self.emit(Inst::new(Op::Li, reg::A2, 0, 0, 0));
+        }
+        self.emit_li_func(reg::A0, &fname);
+        self.emit(Inst::new(Op::Addi, reg::A1, reg::FP, 0, -ctx_off));
+        self.emit_call_raw("__kmp_fork_call");
+        Ok(())
+    }
+
+    fn gen_task(&mut self, clauses: &TaskClauses, body: &Stmt, line: u32) -> GResult<()> {
+        self.set_line(line);
+        let caps = self.plan_task_captures(clauses, body);
+        let fname = self.cc.fresh_outlined(&self.buf.name, "_omp_task");
+        self.outline(&fname, body, &caps, line)?;
+
+        // flags
+        let mut const_flags = 0i64;
+        if clauses.mergeable {
+            const_flags |= FLAG_MERGEABLE;
+        }
+        if clauses.untied {
+            const_flags |= FLAG_UNTIED;
+        }
+        if clauses.detach.is_some() {
+            const_flags |= FLAG_DETACHED;
+        }
+        self.emit(Inst::new(Op::Li, T0, 0, 0, const_flags));
+        self.push(T0);
+        if let Some(e) = &clauses.if_expr {
+            // if(expr) false ⇒ undeferred
+            self.eval(e)?;
+            self.emit(Inst::new(Op::Seq, T0, T0, reg::ZERO, 0));
+            // FLAG_UNDEFERRED is bit 0, value already 0/1
+            self.pop(T1);
+            self.emit(Inst::new(Op::Or, T0, T1, T0, 0));
+            self.push(T0);
+        }
+        if let Some(e) = &clauses.final_expr {
+            self.eval(e)?;
+            self.emit(Inst::new(Op::Sne, T0, T0, reg::ZERO, 0));
+            self.emit(Inst::new(Op::Slli, T0, T0, 0, 2)); // FLAG_FINAL = 1<<2
+            self.pop(T1);
+            self.emit(Inst::new(Op::Or, T0, T1, T0, 0));
+            self.push(T0);
+        }
+        // task = __kmp_task_alloc(fn, payload_bytes, flags)
+        self.pop(reg::A2);
+        self.emit_li_func(reg::A0, &fname);
+        self.emit(Inst::new(Op::Li, reg::A1, 0, 0, (caps.len() as i64) * 8));
+        self.emit_call_raw("__kmp_task_alloc");
+        // Save the handle in a dedicated local.
+        let task_slot = self.alloc_ctx(1);
+        self.emit(Inst::new(Op::St, 0, reg::FP, reg::A0, -task_slot));
+
+        // Fill the payload (indirect: the descriptor holds a pointer to a
+        // separately allocated payload block).
+        for (i, c) in caps.iter().enumerate() {
+            match c.kind {
+                CaptureKind::Ref => self.addr_of_var(&c.name, line)?,
+                CaptureKind::Val => {
+                    self.eval(&Expr::Var(c.name.clone(), line))?;
+                }
+            }
+            self.emit(Inst::new(Op::Ld, T1, reg::FP, 0, -task_slot));
+            self.emit(Inst::new(Op::Ld, T1, T1, 0, TASK_PAYLOAD_OFF));
+            self.emit(Inst::new(Op::St, 0, T1, T0, (i as i64) * 8));
+        }
+
+        // detach(evt): hand the event (the task handle) to the program.
+        if let Some(evt) = &clauses.detach {
+            self.gen_lvalue(&Expr::Var(evt.clone(), line))?;
+            self.emit(Inst::new(Op::Ld, T1, reg::FP, 0, -task_slot));
+            self.emit(Inst::new(Op::St, 0, T0, T1, 0));
+        }
+
+        // Register dependences.
+        for dep in &clauses.depends {
+            let kind = match dep.kind {
+                DepKind::In => 0i64,
+                DepKind::Out => 1,
+                DepKind::Inout => 2,
+                DepKind::Mutexinoutset => 3,
+                DepKind::Inoutset => 4,
+            };
+            for item in &dep.items {
+                let ty = self.gen_lvalue(item)?;
+                self.emit(Inst::new(Op::Add, reg::A1, T0, reg::ZERO, 0));
+                self.emit(Inst::new(Op::Ld, reg::A0, reg::FP, 0, -task_slot));
+                self.emit(Inst::new(Op::Li, reg::A2, 0, 0, ty.size().max(1) as i64));
+                self.emit(Inst::new(Op::Li, reg::A3, 0, 0, kind));
+                self.emit_call_raw("__kmp_task_dep");
+            }
+        }
+
+        // Go.
+        self.emit(Inst::new(Op::Ld, reg::A0, reg::FP, 0, -task_slot));
+        self.emit_call_raw("__kmp_task_spawn");
+        Ok(())
+    }
+
+    /// Decide sharing for every free variable of a task body.
+    fn plan_task_captures(&self, clauses: &TaskClauses, body: &Stmt) -> Vec<Capture> {
+        self.free_local_vars(body)
+            .into_iter()
+            .map(|(name, ty)| {
+                let explicitly_shared = clauses.shared.contains(&name);
+                let explicitly_private = clauses.firstprivate.contains(&name);
+                let inherited_shared =
+                    matches!(self.lookup(&name), Some(Binding::CapturedRef { .. }));
+                let kind = if explicitly_shared || (inherited_shared && !explicitly_private) {
+                    CaptureKind::Ref
+                } else {
+                    CaptureKind::Val
+                };
+                let inner_ty = match kind {
+                    CaptureKind::Ref => ty,
+                    CaptureKind::Val => ty.decayed(),
+                };
+                Capture { name, kind, inner_ty }
+            })
+            .collect()
+    }
+
+    fn gen_taskloop(&mut self, cl: &TaskloopClauses, body: &Stmt, line: u32) -> GResult<()> {
+        self.set_line(line);
+        let Stmt::For { init, cond, step, body: loop_body, .. } = body else {
+            return Err(GenError { line, msg: "taskloop requires a for loop".into() });
+        };
+        // Canonical form extraction.
+        let (var, lo) = match init.as_deref() {
+            Some(Stmt::Decl { name, init: Some(e), .. }) => (name.clone(), e.clone()),
+            Some(Stmt::Expr(Expr::Assign { lhs, rhs, .. })) => match lhs.as_ref() {
+                Expr::Var(n, _) => (n.clone(), rhs.as_ref().clone()),
+                _ => return Err(GenError { line, msg: "taskloop: non-canonical init".into() }),
+            },
+            _ => return Err(GenError { line, msg: "taskloop: loop must initialize its variable".into() }),
+        };
+        let (hi, inclusive) = match cond {
+            Some(Expr::Bin { op: BinOp::Lt, rhs, .. }) => (rhs.as_ref().clone(), false),
+            Some(Expr::Bin { op: BinOp::Le, rhs, .. }) => (rhs.as_ref().clone(), true),
+            _ => return Err(GenError { line, msg: "taskloop: condition must be < or <=".into() }),
+        };
+        let step_c: i64 = match step {
+            Some(Expr::IncDec { inc: true, .. }) => 1,
+            Some(Expr::Assign { rhs, .. }) => match rhs.as_ref() {
+                Expr::Bin { op: BinOp::Add, rhs: r, .. } => match r.as_ref() {
+                    Expr::IntLit(c) if *c > 0 => *c,
+                    _ => return Err(GenError { line, msg: "taskloop: step must be a positive constant".into() }),
+                },
+                _ => return Err(GenError { line, msg: "taskloop: non-canonical step".into() }),
+            },
+            _ => return Err(GenError { line, msg: "taskloop: non-canonical step".into() }),
+        };
+
+        // Rebuild as chunked explicit tasks (see module docs). All the
+        // synthesized names are prefixed so they cannot collide.
+        let v = |n: &str| Expr::Var(n.into(), line);
+        let hi_adj = if inclusive {
+            Expr::Bin { op: BinOp::Add, lhs: Box::new(hi), rhs: Box::new(Expr::IntLit(1)), line }
+        } else {
+            hi
+        };
+        let grain = cl.grainsize.clone().unwrap_or(Expr::IntLit(0));
+        let ntasks = cl.num_tasks.clone().unwrap_or(Expr::IntLit(0));
+        let chunk_call = Expr::Call {
+            name: "__kmp_taskloop_chunk".into(),
+            args: vec![v("__tl_lo"), v("__tl_hi"), grain, ntasks],
+            line,
+        };
+        // span = chunk * step
+        let span = Expr::Bin {
+            op: BinOp::Mul,
+            lhs: Box::new(v("__tl_chunk")),
+            rhs: Box::new(Expr::IntLit(step_c)),
+            line,
+        };
+        // __tl_ihi = min(__tl_c + span, __tl_hi)
+        let c_plus = Expr::Bin { op: BinOp::Add, lhs: Box::new(v("__tl_c")), rhs: Box::new(span), line };
+        let ihi = Expr::Cond {
+            cond: Box::new(Expr::Bin {
+                op: BinOp::Lt,
+                lhs: Box::new(c_plus.clone()),
+                rhs: Box::new(v("__tl_hi")),
+                line,
+            }),
+            then: Box::new(c_plus),
+            els: Box::new(v("__tl_hi")),
+            line,
+        };
+        let inner_for = Stmt::For {
+            init: Some(Box::new(Stmt::Decl {
+                ty: Type::Int,
+                name: var.clone(),
+                init: Some(v("__tl_c")),
+                line,
+            })),
+            cond: Some(Expr::Bin {
+                op: BinOp::Lt,
+                lhs: Box::new(v(&var)),
+                rhs: Box::new(v("__tl_ihi")),
+                line,
+            }),
+            step: Some(Expr::Assign {
+                lhs: Box::new(v(&var)),
+                rhs: Box::new(Expr::Bin {
+                    op: BinOp::Add,
+                    lhs: Box::new(v(&var)),
+                    rhs: Box::new(Expr::IntLit(step_c)),
+                    line,
+                }),
+                line,
+            }),
+            body: loop_body.clone(),
+            line,
+        };
+        let task = Stmt::OmpTask {
+            clauses: TaskClauses { shared: cl.shared.clone(), ..Default::default() },
+            body: Box::new(Stmt::Block(vec![
+                Stmt::Decl { ty: Type::Int, name: "__tl_ihi".into(), init: Some(ihi), line },
+                inner_for,
+            ])),
+            line,
+        };
+        let chunk_loop = Stmt::For {
+            init: Some(Box::new(Stmt::Decl {
+                ty: Type::Int,
+                name: "__tl_c".into(),
+                init: Some(v("__tl_lo")),
+                line,
+            })),
+            cond: Some(Expr::Bin {
+                op: BinOp::Lt,
+                lhs: Box::new(v("__tl_c")),
+                rhs: Box::new(v("__tl_hi")),
+                line,
+            }),
+            step: Some(Expr::Assign {
+                lhs: Box::new(v("__tl_c")),
+                rhs: Box::new(Expr::Bin {
+                    op: BinOp::Add,
+                    lhs: Box::new(v("__tl_c")),
+                    rhs: Box::new(Expr::Bin {
+                        op: BinOp::Mul,
+                        lhs: Box::new(v("__tl_chunk")),
+                        rhs: Box::new(Expr::IntLit(step_c)),
+                        line,
+                    }),
+                    line,
+                }),
+                line,
+            }),
+            body: Box::new(task),
+            line,
+        };
+        let mut stmts = vec![
+            Stmt::Decl { ty: Type::Int, name: "__tl_lo".into(), init: Some(lo), line },
+            Stmt::Decl { ty: Type::Int, name: "__tl_hi".into(), init: Some(hi_adj), line },
+            Stmt::Decl { ty: Type::Int, name: "__tl_chunk".into(), init: Some(chunk_call), line },
+        ];
+        if !cl.nogroup {
+            stmts.push(Stmt::Expr(Expr::Call {
+                name: "__kmp_taskgroup_begin".into(),
+                args: vec![],
+                line,
+            }));
+        }
+        stmts.push(chunk_loop);
+        if !cl.nogroup {
+            stmts.push(Stmt::Expr(Expr::Call {
+                name: "__kmp_taskgroup_end".into(),
+                args: vec![],
+                line,
+            }));
+        }
+        self.gen_stmt(&Stmt::Block(stmts))
+    }
+
+    pub(crate) fn gen_cilk_spawn(
+        &mut self,
+        dst: Option<String>,
+        call: &Expr,
+        line: u32,
+    ) -> GResult<()> {
+        // `x = cilk_spawn f(a)` becomes a task assigning into shared x;
+        // Cilk support rides on the tasking runtime ("work-in-progress
+        // Cilk support" in the paper's words).
+        self.call_rt("__cilk_enter", &[]);
+        let body = match &dst {
+            Some(name) => Stmt::Expr(Expr::Assign {
+                lhs: Box::new(Expr::Var(name.clone(), line)),
+                rhs: Box::new(call.clone()),
+                line,
+            }),
+            None => Stmt::Expr(call.clone()),
+        };
+        let clauses = TaskClauses {
+            shared: dst.into_iter().collect(),
+            ..Default::default()
+        };
+        self.gen_task(&clauses, &body, line)
+    }
+}
+
+/// Collect the free variables of a statement subtree, in first-use order:
+/// names referenced but not declared within the subtree.
+pub fn free_vars(s: &Stmt) -> Vec<String> {
+    struct V {
+        bound: Vec<HashSet<String>>,
+        free: Vec<String>,
+    }
+    impl V {
+        fn is_bound(&self, n: &str) -> bool {
+            self.bound.iter().any(|s| s.contains(n))
+        }
+        fn use_var(&mut self, n: &str) {
+            if !self.is_bound(n) && !self.free.iter().any(|x| x == n) {
+                self.free.push(n.to_string());
+            }
+        }
+        fn expr(&mut self, e: &Expr) {
+            match e {
+                Expr::Var(n, _) => self.use_var(n),
+                Expr::Bin { lhs, rhs, .. } => {
+                    self.expr(lhs);
+                    self.expr(rhs);
+                }
+                Expr::Un { x, .. } => self.expr(x),
+                Expr::Cond { cond, then, els, .. } => {
+                    self.expr(cond);
+                    self.expr(then);
+                    self.expr(els);
+                }
+                Expr::Assign { lhs, rhs, .. } => {
+                    self.expr(lhs);
+                    self.expr(rhs);
+                }
+                Expr::IncDec { target, .. } => self.expr(target),
+                Expr::Deref(p, _) => self.expr(p),
+                Expr::AddrOf(p, _) => self.expr(p),
+                Expr::Index { base, index, .. } => {
+                    self.expr(base);
+                    self.expr(index);
+                }
+                Expr::Call { args, .. } => args.iter().for_each(|a| self.expr(a)),
+                Expr::Cast { x, .. } => self.expr(x),
+                Expr::CilkSpawn { call, .. } => self.expr(call),
+                Expr::IntLit(_) | Expr::FloatLit(_) | Expr::StrLit(_) | Expr::CharLit(_)
+                | Expr::SizeofType(_) => {}
+            }
+        }
+        fn stmt(&mut self, s: &Stmt) {
+            match s {
+                Stmt::Decl { name, init, .. } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                    }
+                    self.bound.last_mut().unwrap().insert(name.clone());
+                }
+                Stmt::Expr(e) => self.expr(e),
+                Stmt::Block(v) => {
+                    self.bound.push(HashSet::new());
+                    v.iter().for_each(|x| self.stmt(x));
+                    self.bound.pop();
+                }
+                Stmt::If { cond, then, els, .. } => {
+                    self.expr(cond);
+                    self.scoped(then);
+                    if let Some(e) = els {
+                        self.scoped(e);
+                    }
+                }
+                Stmt::While { cond, body, .. } => {
+                    self.expr(cond);
+                    self.scoped(body);
+                }
+                Stmt::For { init, cond, step, body, .. } => {
+                    self.bound.push(HashSet::new());
+                    if let Some(i) = init {
+                        self.stmt(i);
+                    }
+                    if let Some(c) = cond {
+                        self.expr(c);
+                    }
+                    if let Some(st) = step {
+                        self.expr(st);
+                    }
+                    self.stmt(body);
+                    self.bound.pop();
+                }
+                Stmt::Return(e, _) => {
+                    if let Some(e) = e {
+                        self.expr(e);
+                    }
+                }
+                Stmt::Break(_) | Stmt::Continue(_) | Stmt::OmpTaskwait(_) | Stmt::OmpBarrier(_)
+                | Stmt::CilkSync(_) => {}
+                Stmt::OmpParallel { num_threads, body, .. } => {
+                    if let Some(e) = num_threads {
+                        self.expr(e);
+                    }
+                    self.scoped(body);
+                }
+                Stmt::OmpSingle { body, .. }
+                | Stmt::OmpMaster { body, .. }
+                | Stmt::OmpCritical { body, .. }
+                | Stmt::OmpTaskgroup { body, .. } => self.scoped(body),
+                Stmt::OmpTask { clauses, body, .. } => {
+                    for d in &clauses.depends {
+                        d.items.iter().for_each(|e| self.expr(e));
+                    }
+                    if let Some(e) = &clauses.if_expr {
+                        self.expr(e);
+                    }
+                    if let Some(e) = &clauses.final_expr {
+                        self.expr(e);
+                    }
+                    self.scoped(body);
+                }
+                Stmt::OmpTaskloop { clauses, body, .. } => {
+                    if let Some(e) = &clauses.grainsize {
+                        self.expr(e);
+                    }
+                    if let Some(e) = &clauses.num_tasks {
+                        self.expr(e);
+                    }
+                    self.scoped(body);
+                }
+            }
+        }
+        fn scoped(&mut self, s: &Stmt) {
+            self.bound.push(HashSet::new());
+            self.stmt(s);
+            self.bound.pop();
+        }
+    }
+    let mut v = V { bound: vec![HashSet::new()], free: Vec::new() };
+    v.scoped(s);
+    v.free
+}
+
+// --- small helpers exposed to FnGen (kept here to keep codegen.rs lean) ---
+
+impl<'c> FnGen<'c> {
+    /// Free variables of `body` that are bound in the current function
+    /// scope (locals or captures), paired with their types.
+    pub(crate) fn free_local_vars(&self, body: &Stmt) -> Vec<(String, Type)> {
+        free_vars(body)
+            .into_iter()
+            .filter_map(|n| self.lookup(&n).map(|b| (n, b.ty().clone())))
+            .collect()
+    }
+
+    /// Generate an outlined function with the given captures.
+    fn outline(
+        &mut self,
+        fname: &str,
+        body: &Stmt,
+        caps: &[Capture],
+        line: u32,
+    ) -> GResult<()> {
+        let params = vec![Param { ty: Type::Ptr(Box::new(Type::Int)), name: "__ctx".into() }];
+        let body_vec = vec![body.clone()];
+        let (file_id, tsan) = (self.file_id, self.tsan);
+        FnGen::generate(
+            self.cc,
+            fname,
+            file_id,
+            tsan,
+            Type::Void,
+            &params,
+            &body_vec,
+            Some(caps),
+            line,
+        )
+    }
+
+    /// Address of a variable by name into `T0`.
+    fn addr_of_var(&mut self, name: &str, line: u32) -> GResult<()> {
+        self.gen_lvalue(&Expr::Var(name.to_string(), line)).map(|_| ())
+    }
+
+    fn call_rt(&mut self, name: &str, args: &[i64]) {
+        for (i, a) in args.iter().enumerate() {
+            self.emit(Inst::new(Op::Li, reg::A0 + i as u8, 0, 0, *a));
+        }
+        self.emit_call_raw(name);
+    }
+
+    fn emit_move_t0_from_a0(&mut self) {
+        self.emit(Inst::new(Op::Add, T0, reg::A0, reg::ZERO, 0));
+    }
+
+    fn emit_branch_eqz(&mut self, label: usize) {
+        self.emit_branch(Inst::new(Op::Beq, 0, T0, reg::ZERO, 0), label);
+    }
+
+    fn emit_branch_nez(&mut self, label: usize) {
+        self.emit_branch(Inst::new(Op::Bne, 0, T0, reg::ZERO, 0), label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn body_of(src: &str) -> Stmt {
+        let u = parse(src).unwrap();
+        Stmt::Block(u.functions[0].body.clone().unwrap())
+    }
+
+    #[test]
+    fn free_vars_basic() {
+        let s = body_of("void f() { int a = x + y; a = a + x; z = 1; }");
+        assert_eq!(free_vars(&s), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn free_vars_respects_scopes() {
+        let s = body_of("void f() { { int x; x = 1; } x = 2; }");
+        assert_eq!(free_vars(&s), vec!["x"]);
+        let s = body_of("void f() { for (int i = 0; i < n; i++) a[i] = i; i = 9; }");
+        assert_eq!(free_vars(&s), vec!["n", "a", "i"]);
+    }
+
+    #[test]
+    fn free_vars_sees_nested_pragma_clauses() {
+        let s = body_of(
+            "void f() {\n#pragma omp task depend(out: q) if(c)\n{ int t = w; }\n}",
+        );
+        let fv = free_vars(&s);
+        assert!(fv.contains(&"q".to_string()));
+        assert!(fv.contains(&"c".to_string()));
+        assert!(fv.contains(&"w".to_string()));
+    }
+
+    #[test]
+    fn free_vars_param_shadowing_in_decl_init() {
+        // the initializer is evaluated before the name is bound
+        let s = body_of("void f() { int x = x + 1; }");
+        assert_eq!(free_vars(&s), vec!["x"]);
+    }
+}

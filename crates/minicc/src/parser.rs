@@ -1,0 +1,984 @@
+//! Recursive-descent parser for minic.
+//!
+//! `#pragma omp ...` tokens are parsed by re-lexing the pragma text and
+//! running clause sub-parsers over it, then attaching the construct to
+//! the following statement — mirroring how OpenMP is a decoration on
+//! structured blocks.
+
+use crate::ast::*;
+use crate::token::{lex, Spanned, Tok};
+
+/// A parse error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+pub struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parse a full translation unit.
+pub fn parse(src: &str) -> PResult<Unit> {
+    let toks = lex(src).map_err(|e| ParseError { line: e.line, msg: e.msg })?;
+    Parser { toks, pos: 0 }.unit()
+}
+
+/// Parse a single expression (used by tests and pragma clauses).
+pub fn parse_expr_str(src: &str, line: u32) -> PResult<Expr> {
+    let toks = lex(src).map_err(|e| ParseError { line, msg: e.msg })?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect(&Tok::Eof)?;
+    Ok(e)
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> PResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}, found {:?}", t, self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError { line: self.line(), msg }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- types ----
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwInt | Tok::KwDouble | Tok::KwChar | Tok::KwVoid | Tok::KwLong
+                | Tok::KwUnsigned | Tok::KwConst
+        )
+    }
+
+    fn base_type(&mut self) -> PResult<Type> {
+        while self.eat(&Tok::KwConst) || self.eat(&Tok::KwUnsigned) {}
+        let t = match self.bump() {
+            Tok::KwInt => Type::Int,
+            Tok::KwDouble => Type::Double,
+            Tok::KwChar => Type::Char,
+            Tok::KwVoid => Type::Void,
+            Tok::KwLong => {
+                // accept `long`, `long int`, `long long`
+                self.eat(&Tok::KwLong);
+                self.eat(&Tok::KwInt);
+                Type::Int
+            }
+            other => return Err(self.err(format!("expected type, found {other:?}"))),
+        };
+        while self.eat(&Tok::KwConst) {}
+        Ok(t)
+    }
+
+    fn full_type(&mut self) -> PResult<Type> {
+        let mut t = self.base_type()?;
+        while self.eat(&Tok::Star) {
+            t = Type::Ptr(Box::new(t));
+            while self.eat(&Tok::KwConst) {}
+        }
+        Ok(t)
+    }
+
+    // ---- top level ----
+
+    fn unit(&mut self) -> PResult<Unit> {
+        let mut unit = Unit::default();
+        let mut threadprivate: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Pragma(text) => {
+                    let text = text.clone();
+                    let line = self.line();
+                    self.bump();
+                    if let Some(rest) = text.strip_prefix("omp threadprivate") {
+                        let names = parse_name_list(rest, line)?;
+                        threadprivate.extend(names);
+                    } else {
+                        return Err(ParseError {
+                            line,
+                            msg: format!("pragma `{text}` not allowed at file scope"),
+                        });
+                    }
+                }
+                _ => self.top_decl(&mut unit)?,
+            }
+        }
+        for g in &mut unit.globals {
+            if threadprivate.contains(&g.name) {
+                g.thread_local = true;
+                g.threadprivate = true;
+            }
+        }
+        Ok(unit)
+    }
+
+    fn top_decl(&mut self, unit: &mut Unit) -> PResult<()> {
+        let line = self.line();
+        let is_extern = self.eat(&Tok::KwExtern);
+        self.eat(&Tok::KwStatic);
+        let thread_local = self.eat(&Tok::KwThreadLocal);
+        self.eat(&Tok::KwStatic);
+        let ty = self.full_type()?;
+        let name = self.ident()?;
+
+        if self.peek() == &Tok::LParen {
+            // function
+            self.bump();
+            let mut params = Vec::new();
+            let mut variadic = false;
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    if self.eat(&Tok::Ellipsis) {
+                        variadic = true;
+                        break;
+                    }
+                    if self.peek() == &Tok::KwVoid && self.peek2() == &Tok::RParen {
+                        self.bump();
+                        break;
+                    }
+                    let pty = self.full_type()?;
+                    let pname = match self.peek() {
+                        Tok::Ident(_) => self.ident()?,
+                        _ => format!("__anon{}", params.len()),
+                    };
+                    // array parameter decays to pointer
+                    let pty = if self.eat(&Tok::LBracket) {
+                        while self.peek() != &Tok::RBracket {
+                            self.bump();
+                        }
+                        self.expect(&Tok::RBracket)?;
+                        Type::Ptr(Box::new(pty))
+                    } else {
+                        pty
+                    };
+                    params.push(Param { ty: pty, name: pname });
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+            }
+            let body = if self.eat(&Tok::Semi) {
+                None
+            } else {
+                Some(self.block_stmts()?)
+            };
+            unit.functions.push(Function { ret: ty, name, params, variadic, body, line });
+            return Ok(());
+        }
+
+        // global variable(s)
+        let mut first = true;
+        let mut cur_name = name;
+        loop {
+            let mut gty = ty.clone();
+            if !first {
+                // subsequent declarators may have their own stars
+                while self.eat(&Tok::Star) {
+                    gty = Type::Ptr(Box::new(gty));
+                }
+                cur_name = self.ident()?;
+            }
+            first = false;
+            if self.eat(&Tok::LBracket) {
+                let n = match self.bump() {
+                    Tok::IntLit(v) if v > 0 => v as u64,
+                    other => {
+                        return Err(self.err(format!("expected array size, found {other:?}")))
+                    }
+                };
+                self.expect(&Tok::RBracket)?;
+                gty = Type::Array(Box::new(gty), n);
+            }
+            let init = if self.eat(&Tok::Assign) {
+                match self.bump() {
+                    Tok::IntLit(v) => GlobalInit::Int(v),
+                    Tok::Minus => match self.bump() {
+                        Tok::IntLit(v) => GlobalInit::Int(-v),
+                        Tok::FloatLit(v) => GlobalInit::Double(-v),
+                        other => {
+                            return Err(self.err(format!("bad global initializer {other:?}")))
+                        }
+                    },
+                    Tok::FloatLit(v) => GlobalInit::Double(v),
+                    Tok::StrLit(s) => GlobalInit::Str(s),
+                    Tok::CharLit(c) => GlobalInit::Int(c as i64),
+                    other => return Err(self.err(format!("bad global initializer {other:?}"))),
+                }
+            } else {
+                GlobalInit::None
+            };
+            if !is_extern {
+                unit.globals.push(Global {
+                    ty: gty,
+                    name: cur_name.clone(),
+                    init,
+                    thread_local,
+                    threadprivate: false,
+                    line,
+                });
+            }
+            if self.eat(&Tok::Comma) {
+                continue;
+            }
+            self.expect(&Tok::Semi)?;
+            break;
+        }
+        Ok(())
+    }
+
+    // ---- statements ----
+
+    fn block_stmts(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect(&Tok::LBrace)?;
+        let mut out = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unexpected EOF in block".into()));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Pragma(text) => {
+                self.bump();
+                self.pragma_stmt(&text, line)
+            }
+            Tok::LBrace => Ok(Stmt::Block(self.block_stmts()?)),
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat(&Tok::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els, line })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else if self.is_type_start() {
+                    Some(Box::new(self.decl_stmt()?))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                let step = if self.peek() == &Tok::RParen { None } else { Some(self.expr()?) };
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For { init, cond, step, body, line })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let e = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(e, line))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Continue(line))
+            }
+            Tok::KwCilkSync => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::CilkSync(line))
+            }
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Block(vec![]))
+            }
+            _ if self.is_type_start() => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        let base = self.full_type()?;
+        let mut decls = Vec::new();
+        loop {
+            let mut ty = base.clone();
+            if !decls.is_empty() {
+                while self.eat(&Tok::Star) {
+                    ty = Type::Ptr(Box::new(ty));
+                }
+            }
+            let name = self.ident()?;
+            if self.eat(&Tok::LBracket) {
+                let n = match self.bump() {
+                    Tok::IntLit(v) if v > 0 => v as u64,
+                    other => {
+                        return Err(self.err(format!("expected array size, found {other:?}")))
+                    }
+                };
+                self.expect(&Tok::RBracket)?;
+                ty = Type::Array(Box::new(ty), n);
+            }
+            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+            decls.push(Stmt::Decl { ty, name, init, line });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::Semi)?;
+        Ok(if decls.len() == 1 {
+            decls.pop().unwrap()
+        } else {
+            Stmt::Block(decls)
+        })
+    }
+
+    // ---- pragma handling ----
+
+    fn pragma_stmt(&mut self, text: &str, line: u32) -> PResult<Stmt> {
+        let Some(rest) = text.strip_prefix("omp") else {
+            // Unknown pragma namespaces are ignored like a C compiler would.
+            return self.stmt();
+        };
+        let rest = rest.trim();
+        let (directive, clause_text) = split_word(rest);
+        match directive {
+            "parallel" => {
+                let cl = PragmaClauses::parse(clause_text, line)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::OmpParallel { num_threads: cl.get_expr("num_threads"), body, line })
+            }
+            "single" => {
+                let cl = PragmaClauses::parse(clause_text, line)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::OmpSingle { nowait: cl.has("nowait"), body, line })
+            }
+            "master" | "masked" => {
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::OmpMaster { body, line })
+            }
+            "critical" => {
+                let name = clause_text
+                    .trim()
+                    .strip_prefix('(')
+                    .and_then(|s| s.strip_suffix(')'))
+                    .map(|s| s.trim().to_string());
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::OmpCritical { name, body, line })
+            }
+            "task" => {
+                let cl = PragmaClauses::parse(clause_text, line)?;
+                let clauses = TaskClauses {
+                    depends: cl.depends.clone(),
+                    shared: cl.get_names("shared"),
+                    firstprivate: {
+                        let mut v = cl.get_names("firstprivate");
+                        v.extend(cl.get_names("private"));
+                        v
+                    },
+                    if_expr: cl.get_expr("if"),
+                    final_expr: cl.get_expr("final"),
+                    untied: cl.has("untied"),
+                    mergeable: cl.has("mergeable"),
+                    detach: cl.get_names("detach").into_iter().next(),
+                };
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::OmpTask { clauses, body, line })
+            }
+            "taskwait" => Ok(Stmt::OmpTaskwait(line)),
+            "taskgroup" => {
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::OmpTaskgroup { body, line })
+            }
+            "barrier" => Ok(Stmt::OmpBarrier(line)),
+            "taskloop" => {
+                let cl = PragmaClauses::parse(clause_text, line)?;
+                let clauses = TaskloopClauses {
+                    grainsize: cl.get_expr("grainsize"),
+                    num_tasks: cl.get_expr("num_tasks"),
+                    collapse: cl
+                        .get_expr("collapse")
+                        .and_then(|e| match e {
+                            Expr::IntLit(n) => Some(n as u32),
+                            _ => None,
+                        })
+                        .unwrap_or(1),
+                    shared: cl.get_names("shared"),
+                    nogroup: cl.has("nogroup"),
+                };
+                let body = self.stmt()?;
+                if !matches!(body, Stmt::For { .. }) {
+                    return Err(ParseError { line, msg: "taskloop requires a for loop".into() });
+                }
+                Ok(Stmt::OmpTaskloop { clauses, body: Box::new(body), line })
+            }
+            other => Err(ParseError {
+                line,
+                msg: format!("unsupported OpenMP directive `{other}`"),
+            }),
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    pub fn expr(&mut self) -> PResult<Expr> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> PResult<Expr> {
+        let lhs = self.ternary()?;
+        let line = self.line();
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            Tok::StarAssign => Some(BinOp::Mul),
+            Tok::SlashAssign => Some(BinOp::Div),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assignment()?;
+        let rhs = match op {
+            None => rhs,
+            Some(op) => Expr::Bin {
+                op,
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(rhs),
+                line,
+            },
+        };
+        Ok(Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), line })
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let cond = self.binary(0)?;
+        if self.peek() == &Tok::Question {
+            let line = self.line();
+            self.bump();
+            let then = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let els = self.ternary()?;
+            return Ok(Expr::Cond {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+                line,
+            });
+        }
+        Ok(cond)
+    }
+
+    fn bin_op_prec(t: &Tok) -> Option<(BinOp, u8)> {
+        Some(match t {
+            Tok::PipePipe => (BinOp::LOr, 1),
+            Tok::AmpAmp => (BinOp::LAnd, 2),
+            Tok::Pipe => (BinOp::Or, 3),
+            Tok::Caret => (BinOp::Xor, 4),
+            Tok::Amp => (BinOp::And, 5),
+            Tok::Eq => (BinOp::Eq, 6),
+            Tok::Ne => (BinOp::Ne, 6),
+            Tok::Lt => (BinOp::Lt, 7),
+            Tok::Le => (BinOp::Le, 7),
+            Tok::Gt => (BinOp::Gt, 7),
+            Tok::Ge => (BinOp::Ge, 7),
+            Tok::Shl => (BinOp::Shl, 8),
+            Tok::Shr => (BinOp::Shr, 8),
+            Tok::Plus => (BinOp::Add, 9),
+            Tok::Minus => (BinOp::Sub, 9),
+            Tok::Star => (BinOp::Mul, 10),
+            Tok::Slash => (BinOp::Div, 10),
+            Tok::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op_prec(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::Neg, x: Box::new(self.unary()?), line })
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::Not, x: Box::new(self.unary()?), line })
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::BitNot, x: Box::new(self.unary()?), line })
+            }
+            Tok::Star => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.unary()?), line))
+            }
+            Tok::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.unary()?), line))
+            }
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let inc = self.bump() == Tok::PlusPlus;
+                let t = self.unary()?;
+                Ok(Expr::IncDec { target: Box::new(t), inc, post: false, line })
+            }
+            Tok::KwSizeof => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let e = if self.is_type_start() {
+                    Expr::SizeofType(self.full_type()?)
+                } else {
+                    // sizeof(expr): we only need the common scalar case.
+                    let _ = self.expr()?;
+                    Expr::SizeofType(Type::Int)
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::KwCilkSpawn => {
+                self.bump();
+                let call = self.unary()?;
+                if !matches!(call, Expr::Call { .. }) {
+                    return Err(self.err("cilk_spawn must be applied to a call".into()));
+                }
+                Ok(Expr::CilkSpawn { call: Box::new(call), line })
+            }
+            Tok::LParen if {
+                // cast: `(type)` — lookahead for a type keyword
+                matches!(
+                    self.peek2(),
+                    Tok::KwInt | Tok::KwDouble | Tok::KwChar | Tok::KwVoid | Tok::KwLong
+                        | Tok::KwUnsigned | Tok::KwConst
+                )
+            } =>
+            {
+                self.bump();
+                let ty = self.full_type()?;
+                self.expect(&Tok::RParen)?;
+                let x = self.unary()?;
+                Ok(Expr::Cast { ty, x: Box::new(x), line })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    e = Expr::Index { base: Box::new(e), index: Box::new(idx), line };
+                }
+                Tok::PlusPlus | Tok::MinusMinus => {
+                    let inc = self.bump() == Tok::PlusPlus;
+                    e = Expr::IncDec { target: Box::new(e), inc, post: true, line };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr::IntLit(v)),
+            Tok::FloatLit(v) => Ok(Expr::FloatLit(v)),
+            Tok::StrLit(s) => Ok(Expr::StrLit(s)),
+            Tok::CharLit(c) => Ok(Expr::CharLit(c)),
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError { line, msg: format!("unexpected token {other:?}") }),
+        }
+    }
+}
+
+// ---- pragma clause parsing ----
+
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim();
+    match s.find(|c: char| c.is_whitespace() || c == '(') {
+        Some(i) if s.as_bytes()[i] == b'(' => (&s[..i], &s[i..]),
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+fn parse_name_list(s: &str, line: u32) -> PResult<Vec<String>> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('(')
+        .and_then(|x| x.strip_suffix(')'))
+        .ok_or(ParseError { line, msg: format!("expected (list), found `{s}`") })?;
+    Ok(inner
+        .split(',')
+        .map(|x| x.trim().to_string())
+        .filter(|x| !x.is_empty())
+        .collect())
+}
+
+#[derive(Default)]
+struct PragmaClauses {
+    /// (name, argument-text) pairs in order.
+    items: Vec<(String, Option<String>)>,
+    depends: Vec<Depend>,
+    line: u32,
+}
+
+impl PragmaClauses {
+    fn parse(text: &str, line: u32) -> PResult<PragmaClauses> {
+        let mut out = PragmaClauses { line, ..Default::default() };
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        while i < b.len() {
+            if b[i].is_ascii_whitespace() || b[i] == b',' {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            if i == start {
+                return Err(ParseError { line, msg: format!("bad clause text `{text}`") });
+            }
+            let name = text[start..i].to_string();
+            let mut arg = None;
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'(' {
+                let mut depth = 0;
+                let astart = i + 1;
+                loop {
+                    if i >= b.len() {
+                        return Err(ParseError {
+                            line,
+                            msg: format!("unbalanced parentheses in clause `{name}`"),
+                        });
+                    }
+                    if b[i] == b'(' {
+                        depth += 1;
+                    } else if b[i] == b')' {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                arg = Some(text[astart..i].to_string());
+                i += 1;
+            }
+            if name == "depend" {
+                let a = arg.ok_or(ParseError { line, msg: "depend needs arguments".into() })?;
+                out.depends.push(parse_depend(&a, line)?);
+            } else {
+                out.items.push((name, arg));
+            }
+        }
+        Ok(out)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.items.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_expr(&self, name: &str) -> Option<Expr> {
+        self.items
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, a)| a.as_ref())
+            .and_then(|a| parse_expr_str(a, self.line).ok())
+    }
+
+    fn get_names(&self, name: &str) -> Vec<String> {
+        self.items
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, a)| a.as_ref())
+            .flat_map(|a| a.split(',').map(|s| s.trim().to_string()))
+            .filter(|s| !s.is_empty())
+            .collect()
+    }
+}
+
+fn parse_depend(arg: &str, line: u32) -> PResult<Depend> {
+    let (kind_txt, items_txt) = arg.split_once(':').ok_or(ParseError {
+        line,
+        msg: format!("depend clause needs `kind: items`, got `{arg}`"),
+    })?;
+    let kind = match kind_txt.trim() {
+        "in" => DepKind::In,
+        "out" => DepKind::Out,
+        "inout" => DepKind::Inout,
+        "mutexinoutset" => DepKind::Mutexinoutset,
+        "inoutset" => DepKind::Inoutset,
+        other => {
+            return Err(ParseError { line, msg: format!("unknown dependence kind `{other}`") })
+        }
+    };
+    let mut items = Vec::new();
+    for item in items_txt.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        items.push(parse_expr_str(item, line)?);
+    }
+    Ok(Depend { kind, items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_and_globals() {
+        let u = parse(
+            "int g = 5;\n_Thread_local int t;\ndouble arr[4];\nint add(int a, int b) { return a + b; }",
+        )
+        .unwrap();
+        assert_eq!(u.globals.len(), 3);
+        assert!(u.globals[1].thread_local);
+        assert_eq!(u.globals[2].ty, Type::Array(Box::new(Type::Double), 4));
+        assert_eq!(u.functions.len(), 1);
+        assert_eq!(u.functions[0].params.len(), 2);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let u = parse(
+            "int f(int n) {\n  int s = 0;\n  for (int i = 0; i < n; i++) { if (i % 2 == 0) s += i; else continue; }\n  while (s > 100) s = s - 1;\n  return s;\n}",
+        )
+        .unwrap();
+        let body = u.functions[0].body.as_ref().unwrap();
+        assert!(matches!(body[1], Stmt::For { .. }));
+        assert!(matches!(body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_omp_parallel_single_task() {
+        let src = r#"
+int main(void) {
+  int x = 0;
+  #pragma omp parallel num_threads(4)
+  {
+    #pragma omp single
+    {
+      #pragma omp task depend(out: x) shared(x)
+      { x = 1; }
+      #pragma omp task depend(in: x)
+      { int y = x; }
+      #pragma omp taskwait
+    }
+  }
+  return x;
+}
+"#;
+        let u = parse(src).unwrap();
+        let body = u.functions[0].body.as_ref().unwrap();
+        let Stmt::OmpParallel { num_threads, body: pbody, .. } = &body[1] else {
+            panic!("expected parallel, got {:?}", body[1]);
+        };
+        assert_eq!(num_threads, &Some(Expr::IntLit(4)));
+        let Stmt::Block(inner) = pbody.as_ref() else { panic!() };
+        let Stmt::OmpSingle { body: sbody, .. } = &inner[0] else { panic!() };
+        let Stmt::Block(tasks) = sbody.as_ref() else { panic!() };
+        let Stmt::OmpTask { clauses, .. } = &tasks[0] else { panic!() };
+        assert_eq!(clauses.depends.len(), 1);
+        assert_eq!(clauses.depends[0].kind, DepKind::Out);
+        assert_eq!(clauses.shared, vec!["x".to_string()]);
+        assert!(matches!(tasks[2], Stmt::OmpTaskwait(_)));
+    }
+
+    #[test]
+    fn parses_depend_kinds_and_indexed_items() {
+        let src = "void f(int *a) {\n#pragma omp task depend(inout: a[3]) depend(mutexinoutset: a[0], a[1])\n{ a[3] = 1; }\n}";
+        let u = parse(src).unwrap();
+        let body = u.functions[0].body.as_ref().unwrap();
+        let Stmt::OmpTask { clauses, .. } = &body[0] else { panic!() };
+        assert_eq!(clauses.depends.len(), 2);
+        assert_eq!(clauses.depends[0].kind, DepKind::Inout);
+        assert_eq!(clauses.depends[1].kind, DepKind::Mutexinoutset);
+        assert_eq!(clauses.depends[1].items.len(), 2);
+    }
+
+    #[test]
+    fn parses_taskloop() {
+        let src = "void f(int *a, int n) {\n#pragma omp taskloop grainsize(4)\nfor (int i = 0; i < n; i++) a[i] = i;\n}";
+        let u = parse(src).unwrap();
+        let Stmt::OmpTaskloop { clauses, .. } = &u.functions[0].body.as_ref().unwrap()[0] else {
+            panic!()
+        };
+        assert_eq!(clauses.grainsize, Some(Expr::IntLit(4)));
+    }
+
+    #[test]
+    fn taskloop_requires_for() {
+        let src = "void f() {\n#pragma omp taskloop\n{ }\n}";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn parses_cilk() {
+        let src = "int fib(int n) { int a = cilk_spawn fib(n-1); int b = fib(n-2); cilk_sync; return a + b; }";
+        let u = parse(src).unwrap();
+        let body = u.functions[0].body.as_ref().unwrap();
+        let Stmt::Decl { init: Some(Expr::CilkSpawn { .. }), .. } = &body[0] else {
+            panic!("expected spawn decl, got {:?}", body[0]);
+        };
+        assert!(matches!(body[2], Stmt::CilkSync(_)));
+    }
+
+    #[test]
+    fn parses_casts_pointers_sizeof() {
+        let src = "void f() { int *x = (int*) malloc(2 * sizeof(int)); x[0] = 42; *x = 1; }";
+        let u = parse(src).unwrap();
+        let body = u.functions[0].body.as_ref().unwrap();
+        assert!(matches!(&body[0], Stmt::Decl { ty: Type::Ptr(_), .. }));
+    }
+
+    #[test]
+    fn threadprivate_pragma_at_file_scope() {
+        let src = "int counter;\n#pragma omp threadprivate(counter)\nvoid f() {}";
+        let u = parse(src).unwrap();
+        assert!(u.globals[0].thread_local);
+    }
+
+    #[test]
+    fn variadic_prototype() {
+        let u = parse("int printf(char *fmt, ...);").unwrap();
+        assert!(u.functions[0].variadic);
+        assert!(u.functions[0].body.is_none());
+    }
+
+    #[test]
+    fn error_reporting_has_lines() {
+        let e = parse("int f() {\n  return (1 +\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn compound_assign_expands() {
+        let e = parse_expr_str("a += 2", 1).unwrap();
+        let Expr::Assign { rhs, .. } = e else { panic!() };
+        assert!(matches!(*rhs, Expr::Bin { op: BinOp::Add, .. }));
+    }
+}

@@ -1,0 +1,454 @@
+//! Lexer for minic, the C dialect the benchmark corpus is written in.
+//!
+//! Besides ordinary C tokens, the lexer recognizes `#pragma` lines and
+//! yields them as single [`Tok::Pragma`] tokens carrying the raw clause
+//! text, the way a C compiler's preprocessor hands pragmas to the
+//! front end. `cilk_spawn` / `cilk_sync` are keywords.
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // literals & identifiers
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    CharLit(u8),
+    /// A `#pragma ...` line (text after `#pragma`, trimmed).
+    Pragma(String),
+
+    // keywords
+    KwInt,
+    KwDouble,
+    KwChar,
+    KwVoid,
+    KwLong,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwExtern,
+    KwStatic,
+    KwConst,
+    KwThreadLocal,
+    KwUnsigned,
+    KwCilkSpawn,
+    KwCilkSync,
+
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Bang,
+    Tilde,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    Ellipsis,
+    Eof,
+}
+
+/// A token paired with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub line: u32,
+    pub msg: String,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "int" => Tok::KwInt,
+        "double" | "float" => Tok::KwDouble,
+        "char" => Tok::KwChar,
+        "void" => Tok::KwVoid,
+        "long" => Tok::KwLong,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "sizeof" => Tok::KwSizeof,
+        "extern" => Tok::KwExtern,
+        "static" => Tok::KwStatic,
+        "const" => Tok::KwConst,
+        "unsigned" => Tok::KwUnsigned,
+        "_Thread_local" | "__thread" => Tok::KwThreadLocal,
+        "cilk_spawn" | "_Cilk_spawn" => Tok::KwCilkSpawn,
+        "cilk_sync" | "_Cilk_sync" => Tok::KwCilkSync,
+        _ => return None,
+    })
+}
+
+/// Tokenize a full translation unit.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let err = |line: u32, msg: String| LexError { line, msg };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(err(line, "unterminated block comment".into()));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'#' => {
+                // preprocessor-ish line: only #pragma is meaningful,
+                // #include/#define lines are skipped.
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap().trim();
+                if let Some(rest) = text.strip_prefix("#pragma") {
+                    out.push(Spanned { tok: Tok::Pragma(rest.trim().to_string()), line });
+                }
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err(line, "unterminated string literal".into()));
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= b.len() {
+                                return Err(err(line, "bad escape".into()));
+                            }
+                            s.push(unescape(b[i]));
+                            i += 1;
+                        }
+                        b'\n' => return Err(err(line, "newline in string literal".into())),
+                        ch => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::StrLit(s), line });
+            }
+            b'\'' => {
+                i += 1;
+                let ch = if b.get(i) == Some(&b'\\') {
+                    i += 1;
+                    let c = *b.get(i).ok_or_else(|| err(line, "bad char literal".into()))?;
+                    unescape(c) as u8
+                } else {
+                    *b.get(i).ok_or_else(|| err(line, "bad char literal".into()))?
+                };
+                i += 1;
+                if b.get(i) != Some(&b'\'') {
+                    return Err(err(line, "unterminated char literal".into()));
+                }
+                i += 1;
+                out.push(Spanned { tok: Tok::CharLit(ch), line });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                if c == b'0' && b.get(i + 1).is_some_and(|&x| x == b'x' || x == b'X') {
+                    i += 2;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = std::str::from_utf8(&b[start + 2..i]).unwrap();
+                    let v = i64::from_str_radix(text, 16)
+                        .or_else(|_| u64::from_str_radix(text, 16).map(|u| u as i64))
+                        .map_err(|_| err(line, format!("bad hex literal 0x{text}")))?;
+                    out.push(Spanned { tok: Tok::IntLit(v), line });
+                    continue;
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|x| x.is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if b.get(j).is_some_and(|&x| x == b'+' || x == b'-') {
+                        j += 1;
+                    }
+                    if b.get(j).is_some_and(|x| x.is_ascii_digit()) {
+                        is_float = true;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| err(line, format!("bad float {text}")))?;
+                    out.push(Spanned { tok: Tok::FloatLit(v), line });
+                } else {
+                    // Swallow integer suffixes (L, UL, ...).
+                    while i < b.len() && (b[i] == b'l' || b[i] == b'L' || b[i] == b'u' || b[i] == b'U') {
+                        i += 1;
+                    }
+                    let v: i64 = text.parse().map_err(|_| err(line, format!("bad int {text}")))?;
+                    out.push(Spanned { tok: Tok::IntLit(v), line });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                let tok = keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()));
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                let two = |a: u8, b2: u8| i + 1 < b.len() && c == a && b[i + 1] == b2;
+                let three = |a: u8, b2: u8, c3: u8| {
+                    i + 2 < b.len() && c == a && b[i + 1] == b2 && b[i + 2] == c3
+                };
+                let (tok, len) = if three(b'.', b'.', b'.') {
+                    (Tok::Ellipsis, 3)
+                } else if two(b'+', b'+') {
+                    (Tok::PlusPlus, 2)
+                } else if two(b'-', b'-') {
+                    (Tok::MinusMinus, 2)
+                } else if two(b'+', b'=') {
+                    (Tok::PlusAssign, 2)
+                } else if two(b'-', b'=') {
+                    (Tok::MinusAssign, 2)
+                } else if two(b'*', b'=') {
+                    (Tok::StarAssign, 2)
+                } else if two(b'/', b'=') {
+                    (Tok::SlashAssign, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AmpAmp, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::PipePipe, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b':' => Tok::Colon,
+                        b'?' => Tok::Question,
+                        b'=' => Tok::Assign,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'!' => Tok::Bang,
+                        b'~' => Tok::Tilde,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        other => {
+                            return Err(err(line, format!("unexpected character `{}`", other as char)))
+                        }
+                    };
+                    (t, 1)
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+fn unescape(c: u8) -> char {
+    match c {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::IntLit(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_suffixes() {
+        assert_eq!(toks("0x10 1.5 2e3 7L")[..4],
+            [Tok::IntLit(16), Tok::FloatLit(1.5), Tok::FloatLit(2000.0), Tok::IntLit(7)]);
+    }
+
+    #[test]
+    fn strings_chars_escapes() {
+        assert_eq!(
+            toks(r#""a\nb" '\n' 'x'"#)[..3],
+            [Tok::StrLit("a\nb".into()), Tok::CharLit(b'\n'), Tok::CharLit(b'x')]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("int a; // c1\n/* c2\n */ int b;").unwrap();
+        let b_line = ts.iter().find(|s| s.tok == Tok::Ident("b".into())).unwrap().line;
+        assert_eq!(b_line, 3);
+    }
+
+    #[test]
+    fn pragma_lines() {
+        let ts = lex("#pragma omp parallel num_threads(4)\n{ }").unwrap();
+        assert_eq!(ts[0].tok, Tok::Pragma("omp parallel num_threads(4)".into()));
+        assert_eq!(ts[0].line, 1);
+    }
+
+    #[test]
+    fn includes_are_skipped() {
+        assert_eq!(toks("#include <stdio.h>\nint x;")[0], Tok::KwInt);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a += b << 2 && c != d")[..9],
+            [
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::IntLit(2),
+                Tok::AmpAmp,
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn cilk_and_tls_keywords() {
+        assert_eq!(
+            toks("cilk_spawn cilk_sync _Thread_local")[..3],
+            [Tok::KwCilkSpawn, Tok::KwCilkSync, Tok::KwThreadLocal]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* x").is_err());
+        assert!(lex("$").is_err());
+    }
+}

@@ -1,0 +1,1220 @@
+//! The segment graph (paper §II-A, Fig. 1) and its event-driven builder.
+//!
+//! Nodes are *segments* — non-divisible instruction sequences of one
+//! task execution — plus synthetic sync nodes (parallel-region begin/
+//! end, barriers) that encode the happens-before relation without
+//! quadratic edge blowup. A path `s1 → s2` exists iff a synchronization
+//! imposes `s1 ≺ s2`.
+//!
+//! [`GraphBuilder`] consumes the client-request events the guest
+//! runtime emits (the OMPT-tool of Fig. 2) and produces the final
+//! [`SegmentGraph`]:
+//!
+//! * task creation **splits** the creator's segment — code after the
+//!   spawn is concurrent with the child until a taskwait/taskgroup/
+//!   barrier joins them;
+//! * `depend` clauses create task-level edges resolved post-mortem
+//!   (predecessor's final segment → successor's first segment), matched
+//!   **per parent task** as the OpenMP spec scopes dependences to
+//!   sibling tasks — which is how non-sibling races (DRB173) stay
+//!   visible;
+//! * the parallel-region rule (Eq. 1) falls out of the region begin/end
+//!   sync nodes: every segment of region `r` is sandwiched between its
+//!   begin and end nodes, which chain through the master thread;
+//! * `critical` sections split segments and tag them with the held lock
+//!   set; `mutexinoutset` tags tasks with their mutex objects — both are
+//!   consumed by suppression, not by reachability.
+
+use crate::itree::IntervalTree;
+use grindcore::creq::task_flags;
+use grindcore::Tid;
+use std::collections::HashMap;
+
+pub type SegId = u32;
+pub type TaskId = u32;
+
+/// Dependence kinds (mirror `grindcore::creq::dep_kind`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    In,
+    Out,
+    Inout,
+    Mutexinoutset,
+    Inoutset,
+}
+
+impl DepKind {
+    pub fn from_u64(v: u64) -> DepKind {
+        match v {
+            0 => DepKind::In,
+            1 => DepKind::Out,
+            2 => DepKind::Inout,
+            3 => DepKind::Mutexinoutset,
+            _ => DepKind::Inoutset,
+        }
+    }
+}
+
+/// Per-thread execution metadata captured at event time, used by the
+/// false-positive suppression layers (§IV-C, §IV-D).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadMeta {
+    pub tid: Tid,
+    /// Stack pointer at the event — the "registered stack frame".
+    pub sp: u64,
+    pub stack_low: u64,
+    pub stack_high: u64,
+    pub tls_base: u64,
+    pub tls_size: u64,
+    /// DTV generation analog.
+    pub tls_gen: u64,
+}
+
+/// One segment.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    pub id: SegId,
+    /// Owning task; `None` for synthetic sync nodes.
+    pub task: Option<TaskId>,
+    /// Executing VM thread.
+    pub thread: Tid,
+    pub sync: bool,
+    /// Human-readable kind, for DOT dumps.
+    pub kind: &'static str,
+    pub reads: IntervalTree,
+    pub writes: IntervalTree,
+    /// Stack pointer registered at segment start (§IV-D).
+    pub start_sp: u64,
+    pub stack_low: u64,
+    pub stack_high: u64,
+    /// TCB/DTV record (§IV-C).
+    pub tls_base: u64,
+    pub tls_size: u64,
+    pub tls_gen: u64,
+    /// Critical-section locks held throughout this segment.
+    pub locks: Vec<u64>,
+    pub region: Option<u32>,
+}
+
+impl Segment {
+    pub fn bytes(&self) -> u64 {
+        self.reads.heap_bytes() + self.writes.heap_bytes() + 160
+    }
+}
+
+/// One task (explicit, implicit, or a thread root).
+#[derive(Clone, Debug)]
+pub struct TaskNode {
+    pub id: TaskId,
+    pub flags: u64,
+    /// Address of the outlined body (for source attribution).
+    pub fn_addr: u64,
+    pub parent: Option<TaskId>,
+    /// Creator's segment at creation (edge to `first_seg`).
+    pub create_seg: Option<SegId>,
+    pub first_seg: Option<SegId>,
+    pub last_seg: Option<SegId>,
+    pub children: Vec<TaskId>,
+    /// Task-level dependence predecessors (resolved at finalize).
+    pub dep_preds: Vec<TaskId>,
+    /// mutexinoutset dependence objects this task holds.
+    pub mutex_objs: Vec<u64>,
+    /// For `detach` tasks: the segment that fulfilled the completion
+    /// event — join edges come from here as well as from `last_seg`.
+    pub fulfill_seg: Option<SegId>,
+    pub implicit: bool,
+}
+
+/// The finished graph.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentGraph {
+    pub segments: Vec<Segment>,
+    pub tasks: Vec<TaskNode>,
+    pub edges: Vec<(SegId, SegId)>,
+}
+
+impl SegmentGraph {
+    pub fn n_nodes(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Successor adjacency lists.
+    pub fn successors(&self) -> Vec<Vec<SegId>> {
+        let mut adj = vec![Vec::new(); self.segments.len()];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+        }
+        adj
+    }
+
+    /// Approximate host bytes held by the graph (Table II accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes()).sum::<u64>()
+            + self.tasks.len() as u64 * 160
+            + self.edges.len() as u64 * 8
+    }
+
+    /// Structural validation: edges in range, acyclic, task segment
+    /// bookkeeping consistent, sync nodes access-free. Returns every
+    /// defect found (empty = valid). Used by tests and debug builds.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let n = self.segments.len() as u32;
+        for &(a, b) in &self.edges {
+            if a >= n || b >= n {
+                errs.push(format!("edge ({a},{b}) out of range (n={n})"));
+            }
+            if a == b {
+                errs.push(format!("self edge on segment {a}"));
+            }
+        }
+        // Kahn: a cycle leaves nodes unprocessed
+        let succ = self.successors();
+        let mut indeg = vec![0u32; self.segments.len()];
+        for &(_, b) in &self.edges {
+            if (b as usize) < indeg.len() {
+                indeg[b as usize] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..self.segments.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let u = queue[qi];
+            qi += 1;
+            seen += 1;
+            for &v in &succ[u] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v as usize);
+                }
+            }
+        }
+        if seen != self.segments.len() {
+            errs.push(format!(
+                "graph has a cycle: {seen}/{} nodes in topological order",
+                self.segments.len()
+            ));
+        }
+        for s in &self.segments {
+            if s.sync && (!s.reads.is_empty() || !s.writes.is_empty()) {
+                errs.push(format!("sync node {} has recorded accesses", s.id));
+            }
+            if let Some(t) = s.task {
+                if t as usize >= self.tasks.len() {
+                    errs.push(format!("segment {} references bad task {t}", s.id));
+                }
+            }
+        }
+        for t in &self.tasks {
+            if t.first_seg.is_some() != t.last_seg.is_some() {
+                errs.push(format!("task {} has first/last segment mismatch", t.id));
+            }
+        }
+        errs
+    }
+
+    /// Graphviz dump (Fig. 1 regeneration).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph segments {\n  rankdir=TB;\n");
+        for s in &self.segments {
+            let shape = if s.sync { "diamond" } else { "box" };
+            let label = match s.task {
+                Some(t) => format!("S{} ({}, task {})", s.id, s.kind, t),
+                None => format!("{} #{}", s.kind, s.id),
+            };
+            let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"];", s.id);
+        }
+        for &(a, b) in &self.edges {
+            let _ = writeln!(out, "  n{a} -> n{b};");
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct ExecCtx {
+    task: TaskId,
+    cur_seg: SegId,
+    locks: Vec<u64>,
+    group: Option<u32>,
+    /// Stack pointer at context entry. Segment splits register this
+    /// frame (not the split point's deeper sp): everything the task's
+    /// call tree allocates lives below it, so §IV-D locality holds for
+    /// all of the context's segments.
+    base_sp: u64,
+}
+
+struct TaskgroupState {
+    members: Vec<TaskId>,
+    parent: Option<u32>,
+}
+
+struct RegionState {
+    begin_node: SegId,
+    end_node: SegId,
+    team: u64,
+    barrier_arrived: u64,
+    cur_barrier_node: Option<SegId>,
+    /// Explicit tasks created in this region (joined at barriers and at
+    /// region end — a barrier completes all tasks generated so far).
+    tasks_created: Vec<TaskId>,
+}
+
+#[derive(Default)]
+struct DepEntry {
+    /// Current writer set (one out-task, or the inoutset members).
+    writers: Vec<TaskId>,
+    readers: Vec<TaskId>,
+    /// Set-mode base predecessors.
+    basew: Vec<TaskId>,
+    baser: Vec<TaskId>,
+    set_mode: bool,
+}
+
+/// Builds a [`SegmentGraph`] from runtime events.
+pub struct GraphBuilder {
+    pub segments: Vec<Segment>,
+    pub tasks: Vec<TaskNode>,
+    edges: Vec<(SegId, SegId)>,
+    /// (task, segment): edge from the task's final segment to `segment`.
+    last_to_seg: Vec<(TaskId, SegId)>,
+    ctx: HashMap<Tid, Vec<ExecCtx>>,
+    regions: Vec<RegionState>,
+    taskgroups: Vec<TaskgroupState>,
+    deps: HashMap<(Option<TaskId>, u64), DepEntry>,
+    user_deferrable: bool,
+    /// Strip only the UNDEFERRED flag (see [`Self::set_ignore_undeferred`]).
+    ignore_undeferred: bool,
+    /// Match dependences globally instead of per parent task (baseline
+    /// tools that do not scope deps to siblings set this).
+    global_dep_scope: bool,
+    cur_region: Option<u32>,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        GraphBuilder::new()
+    }
+}
+
+impl GraphBuilder {
+    pub fn new() -> GraphBuilder {
+        GraphBuilder {
+            segments: Vec::new(),
+            tasks: Vec::new(),
+            edges: Vec::new(),
+            last_to_seg: Vec::new(),
+            ctx: HashMap::new(),
+            regions: Vec::new(),
+            taskgroups: Vec::new(),
+            deps: HashMap::new(),
+            user_deferrable: false,
+            ignore_undeferred: false,
+            global_dep_scope: false,
+            cur_region: None,
+        }
+    }
+
+    /// Baseline behaviour: match dependences by address only, ignoring
+    /// the sibling-task scoping of the OpenMP spec.
+    pub fn set_global_dep_scope(&mut self, v: bool) {
+        self.global_dep_scope = v;
+    }
+
+    /// Baseline behaviour (ROMP): the `if(0)`/undeferred ordering is not
+    /// modelled, but included tasks (runtime serialization) still are.
+    pub fn set_ignore_undeferred(&mut self, v: bool) {
+        self.ignore_undeferred = v;
+    }
+
+    /// Is the task currently executing on `tid` an explicit task?
+    pub fn current_task_explicit(&self, tid: Tid) -> bool {
+        self.ctx
+            .get(&tid)
+            .and_then(|s| s.last())
+            .map(|c| !self.tasks[c.task as usize].implicit)
+            .unwrap_or(false)
+    }
+
+    /// §V-B annotation: treat runtime-serialized tasks as deferrable.
+    pub fn set_user_deferrable(&mut self, v: bool) {
+        self.user_deferrable = v;
+    }
+
+    fn new_segment(
+        &mut self,
+        meta: &ThreadMeta,
+        task: Option<TaskId>,
+        kind: &'static str,
+        locks: Vec<u64>,
+    ) -> SegId {
+        let id = self.segments.len() as SegId;
+        self.segments.push(Segment {
+            id,
+            task,
+            thread: meta.tid,
+            sync: task.is_none(),
+            kind,
+            reads: IntervalTree::new(),
+            writes: IntervalTree::new(),
+            start_sp: meta.sp,
+            stack_low: meta.stack_low,
+            stack_high: meta.stack_high,
+            tls_base: meta.tls_base,
+            tls_size: meta.tls_size,
+            tls_gen: meta.tls_gen,
+            locks,
+            region: self.cur_region,
+        });
+        id
+    }
+
+    fn edge(&mut self, a: SegId, b: SegId) {
+        self.edges.push((a, b));
+    }
+
+    fn new_task(
+        &mut self,
+        flags: u64,
+        fn_addr: u64,
+        parent: Option<TaskId>,
+        implicit: bool,
+    ) -> TaskId {
+        let id = self.tasks.len() as TaskId;
+        self.tasks.push(TaskNode {
+            id,
+            flags,
+            fn_addr,
+            parent,
+            create_seg: None,
+            first_seg: None,
+            last_seg: None,
+            children: Vec::new(),
+            dep_preds: Vec::new(),
+            mutex_objs: Vec::new(),
+            fulfill_seg: None,            implicit,
+        });
+        if let Some(p) = parent {
+            self.tasks[p as usize].children.push(id);
+        }
+        id
+    }
+
+    /// Root execution context for a thread (main, or anything running
+    /// user code outside an implicit task).
+    fn ensure_ctx(&mut self, meta: &ThreadMeta) -> usize {
+        let stack = self.ctx.entry(meta.tid).or_default();
+        if stack.is_empty() {
+            let task = self.tasks.len() as TaskId;
+            self.tasks.push(TaskNode {
+                id: task,
+                flags: 0,
+                fn_addr: 0,
+                parent: None,
+                create_seg: None,
+                first_seg: None,
+                last_seg: None,
+                children: Vec::new(),
+                dep_preds: Vec::new(),
+                mutex_objs: Vec::new(),
+                fulfill_seg: None,                implicit: true,
+            });
+            let seg = {
+                let id = self.segments.len() as SegId;
+                self.segments.push(Segment {
+                    id,
+                    task: Some(task),
+                    thread: meta.tid,
+                    sync: false,
+                    kind: "root",
+                    reads: IntervalTree::new(),
+                    writes: IntervalTree::new(),
+                    start_sp: meta.sp,
+                    stack_low: meta.stack_low,
+                    stack_high: meta.stack_high,
+                    tls_base: meta.tls_base,
+                    tls_size: meta.tls_size,
+                    tls_gen: meta.tls_gen,
+                    locks: Vec::new(),
+                    region: None,
+                });
+                id
+            };
+            self.tasks[task as usize].first_seg = Some(seg);
+            self.ctx.get_mut(&meta.tid).unwrap().push(ExecCtx {
+                task,
+                cur_seg: seg,
+                locks: Vec::new(),
+                group: None,
+                base_sp: meta.sp,
+            });
+        }
+        self.ctx[&meta.tid].len() - 1
+    }
+
+    fn top(&mut self, meta: &ThreadMeta) -> &mut ExecCtx {
+        self.ensure_ctx(meta);
+        self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap()
+    }
+
+    /// Split the current segment of the thread's top context: a new
+    /// segment ordered after the old one.
+    fn split(&mut self, meta: &ThreadMeta, kind: &'static str) -> (SegId, SegId) {
+        self.ensure_ctx(meta);
+        let (task, old, locks, base_sp) = {
+            let c = self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap();
+            (c.task, c.cur_seg, c.locks.clone(), c.base_sp)
+        };
+        let meta = &ThreadMeta { sp: base_sp, ..*meta };
+        let new = self.new_segment(meta, Some(task), kind, locks);
+        self.edge(old, new);
+        let c = self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap();
+        c.cur_seg = new;
+        (old, new)
+    }
+
+    // ---- events ----
+
+    pub fn parallel_begin(&mut self, meta: &ThreadMeta, nthreads: u64) -> u64 {
+        self.ensure_ctx(meta);
+        let master_seg = self.top(meta).cur_seg;
+        let begin = self.new_segment(meta, None, "region-begin", Vec::new());
+        let end = self.new_segment(meta, None, "region-end", Vec::new());
+        self.edge(master_seg, begin);
+        let rid = self.regions.len() as u32;
+        self.regions.push(RegionState {
+            begin_node: begin,
+            end_node: end,
+            team: nthreads,
+            barrier_arrived: 0,
+            cur_barrier_node: None,
+            tasks_created: Vec::new(),
+        });
+        self.cur_region = Some(rid);
+        rid as u64
+    }
+
+    pub fn parallel_end(&mut self, meta: &ThreadMeta, region: u64) {
+        let Some(r) = self.regions.get(region as usize) else { return };
+        let end = r.end_node;
+        // the implicit barrier at region end completes every task
+        for t in r.tasks_created.clone() {
+            self.last_to_seg.push((t, end));
+        }
+        self.cur_region = None;
+        let (_, new) = self.split(meta, "after-parallel");
+        self.edge(end, new);
+    }
+
+    pub fn implicit_task_begin(&mut self, meta: &ThreadMeta, region: u64, _index: u64) {
+        let Some(r) = self.regions.get(region as usize) else { return };
+        let begin = r.begin_node;
+        let task = self.new_task(0, 0, None, true);
+        let seg = self.new_segment(meta, Some(task), "implicit", Vec::new());
+        self.tasks[task as usize].first_seg = Some(seg);
+        self.edge(begin, seg);
+        self.ctx.entry(meta.tid).or_default().push(ExecCtx {
+            task,
+            cur_seg: seg,
+            locks: Vec::new(),
+            group: None,
+            base_sp: meta.sp,
+        });
+    }
+
+    pub fn implicit_task_end(&mut self, meta: &ThreadMeta, region: u64, _index: u64) {
+        let end_node = self.regions.get(region as usize).map(|r| r.end_node);
+        if let Some(stack) = self.ctx.get_mut(&meta.tid) {
+            if let Some(c) = stack.pop() {
+                self.tasks[c.task as usize].last_seg = Some(c.cur_seg);
+                if let Some(end) = end_node {
+                    self.edge(c.cur_seg, end);
+                }
+            }
+        }
+    }
+
+    pub fn task_create(&mut self, meta: &ThreadMeta, flags: u64, fn_addr: u64) -> u64 {
+        self.ensure_ctx(meta);
+        let flags = if self.user_deferrable {
+            flags & !(task_flags::UNDEFERRED | task_flags::INCLUDED)
+        } else if self.ignore_undeferred {
+            flags & !task_flags::UNDEFERRED
+        } else {
+            flags
+        };
+        let (parent, group) = {
+            let c = self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap();
+            (c.task, c.group)
+        };
+        let task = self.new_task(flags, fn_addr, Some(parent), false);
+        if let Some(g) = group {
+            self.taskgroups[g as usize].members.push(task);
+        }
+        if let Some(r) = self.cur_region {
+            self.regions[r as usize].tasks_created.push(task);
+        }
+        task as u64
+    }
+
+    /// The task becomes runnable: everything the creator did so far
+    /// (payload copies, dependence registration) happens-before the
+    /// child; the creator's continuation is concurrent with it.
+    pub fn task_spawn(&mut self, meta: &ThreadMeta, task: u64) {
+        let task = task as TaskId;
+        let create_seg = self.top(meta).cur_seg;
+        self.tasks[task as usize].create_seg = Some(create_seg);
+        self.split(meta, "after-spawn");
+    }
+
+    pub fn task_dep(&mut self, task: u64, addr: u64, _len: u64, kind: DepKind) {
+        let task = task as TaskId;
+        let parent = if self.global_dep_scope {
+            None
+        } else {
+            self.tasks.get(task as usize).and_then(|t| t.parent)
+        };
+        let e = self.deps.entry((parent, addr)).or_default();
+        let mut preds: Vec<TaskId> = Vec::new();
+        match kind {
+            DepKind::In => {
+                preds.extend(&e.writers);
+                e.readers.push(task);
+            }
+            DepKind::Out | DepKind::Inout => {
+                preds.extend(&e.writers);
+                preds.extend(&e.readers);
+                e.writers = vec![task];
+                e.readers.clear();
+                e.set_mode = false;
+                e.basew.clear();
+                e.baser.clear();
+            }
+            DepKind::Inoutset | DepKind::Mutexinoutset => {
+                // entering set mode — or starting a NEW set generation
+                // when readers arrived since the current set formed
+                // (inoutset behaves like `out` w.r.t. `in`)
+                if !e.set_mode || !e.readers.is_empty() {
+                    e.basew = std::mem::take(&mut e.writers);
+                    e.baser = std::mem::take(&mut e.readers);
+                    e.set_mode = true;
+                }
+                preds.extend(&e.basew);
+                preds.extend(&e.baser);
+                e.writers.push(task);
+            }
+        }
+        if kind == DepKind::Mutexinoutset {
+            self.tasks[task as usize].mutex_objs.push(addr);
+        }
+        let t = &mut self.tasks[task as usize];
+        for p in preds {
+            if p != task && !t.dep_preds.contains(&p) {
+                t.dep_preds.push(p);
+            }
+        }
+    }
+
+    pub fn task_begin(&mut self, meta: &ThreadMeta, task: u64) {
+        let task = task as TaskId;
+        let group = {
+            // executing task inherits its creator's taskgroup (descendant
+            // tasks extend the group)
+            self.task_group_of(task)
+        };
+        let seg = self.new_segment(meta, Some(task), "task", Vec::new());
+        self.tasks[task as usize].first_seg = Some(seg);
+        self.ctx.entry(meta.tid).or_default().push(ExecCtx {
+            task,
+            cur_seg: seg,
+            locks: Vec::new(),
+            group,
+            base_sp: meta.sp,
+        });
+    }
+
+    fn task_group_of(&self, _task: TaskId) -> Option<u32> {
+        // group membership is recorded at creation; execution context
+        // group is only used for *new* tasks created inside this task,
+        // which inherit through this value.
+        None
+    }
+
+    pub fn task_end(&mut self, meta: &ThreadMeta, task: u64) {
+        let task = task as TaskId;
+        if let Some(stack) = self.ctx.get_mut(&meta.tid) {
+            if let Some(c) = stack.pop() {
+                self.tasks[c.task as usize].last_seg = Some(c.cur_seg);
+            }
+        }
+        // Inline (undeferred/included) execution orders the parent's
+        // continuation after the child.
+        let flags = self.tasks[task as usize].flags;
+        let inline = flags & (task_flags::UNDEFERRED | task_flags::INCLUDED) != 0;
+        if inline {
+            let same_parent = self
+                .ctx
+                .get(&meta.tid)
+                .and_then(|s| s.last())
+                .map(|c| Some(c.task) == self.tasks[task as usize].parent)
+                .unwrap_or(false);
+            if same_parent {
+                let child_last = self.tasks[task as usize].last_seg;
+                let (_, new) = self.split(meta, "after-inline-task");
+                if let Some(cl) = child_last {
+                    self.edge(cl, new);
+                }
+            }
+        }
+    }
+
+    /// `omp_fulfill_event` on a detached task: the fulfilling segment
+    /// happens-before everything joining on the task. The fulfiller's
+    /// segment splits so only its pre-fulfill accesses are ordered.
+    pub fn task_fulfill(&mut self, meta: &ThreadMeta, task: u64) {
+        self.ensure_ctx(meta);
+        let (fulfill_seg, _) = self.split(meta, "after-fulfill");
+        if let Some(t) = self.tasks.get_mut(task as usize) {
+            t.fulfill_seg = Some(fulfill_seg);
+        }
+    }
+
+    pub fn taskwait(&mut self, meta: &ThreadMeta) {
+        self.ensure_ctx(meta);
+        let task = self.top(meta).task;
+        let children = self.tasks[task as usize].children.clone();
+        let (_, new) = self.split(meta, "after-taskwait");
+        for ch in children {
+            self.last_to_seg.push((ch, new));
+        }
+    }
+
+    pub fn taskgroup_begin(&mut self, meta: &ThreadMeta) {
+        self.ensure_ctx(meta);
+        let parent = self.top(meta).group;
+        let gid = self.taskgroups.len() as u32;
+        self.taskgroups.push(TaskgroupState { members: Vec::new(), parent });
+        self.top(meta).group = Some(gid);
+    }
+
+    pub fn taskgroup_end(&mut self, meta: &ThreadMeta) {
+        self.ensure_ctx(meta);
+        let Some(gid) = self.top(meta).group else {
+            self.split(meta, "after-taskgroup");
+            return;
+        };
+        let members = self.taskgroups[gid as usize].members.clone();
+        let parent = self.taskgroups[gid as usize].parent;
+        let (_, new) = self.split(meta, "after-taskgroup");
+        for m in members {
+            self.last_to_seg.push((m, new));
+            // descendants of members also joined the group at creation
+            self.collect_descendants(m, new);
+        }
+        self.top(meta).group = parent;
+    }
+
+    fn collect_descendants(&mut self, task: TaskId, join: SegId) {
+        let children = self.tasks[task as usize].children.clone();
+        for ch in children {
+            self.last_to_seg.push((ch, join));
+            self.collect_descendants(ch, join);
+        }
+    }
+
+    pub fn barrier(&mut self, meta: &ThreadMeta, region: u64) {
+        self.ensure_ctx(meta);
+        if self.regions.get(region as usize).is_none() || self.cur_region.is_none() {
+            // solo barrier outside a region: a plain split
+            self.split(meta, "after-barrier");
+            return;
+        }
+        let r = region as usize;
+        let node = match self.regions[r].cur_barrier_node {
+            Some(n) => n,
+            None => {
+                let n = self.new_segment(meta, None, "barrier", Vec::new());
+                self.regions[r].cur_barrier_node = Some(n);
+                n
+            }
+        };
+        let cur = self.top(meta).cur_seg;
+        self.edge(cur, node);
+        let task = self.top(meta).task;
+        let locks = self.top(meta).locks.clone();
+        let base_sp = self.top(meta).base_sp;
+        let meta = &ThreadMeta { sp: base_sp, ..*meta };
+        let new = self.new_segment(meta, Some(task), "after-barrier", locks);
+        self.edge(node, new);
+        self.top(meta).cur_seg = new;
+        // the barrier completes every task generated in the region so far
+        for t in self.regions[r].tasks_created.clone() {
+            self.last_to_seg.push((t, node));
+        }
+        self.regions[r].barrier_arrived += 1;
+        if self.regions[r].barrier_arrived >= self.regions[r].team {
+            self.regions[r].barrier_arrived = 0;
+            self.regions[r].cur_barrier_node = None;
+        }
+    }
+
+    pub fn critical_enter(&mut self, meta: &ThreadMeta, lock: u64) {
+        self.ensure_ctx(meta);
+        self.top(meta).locks.push(lock);
+        let locks = self.top(meta).locks.clone();
+        let task = self.top(meta).task;
+        let old = self.top(meta).cur_seg;
+        let base_sp = self.top(meta).base_sp;
+        let meta = &ThreadMeta { sp: base_sp, ..*meta };
+        let new = self.new_segment(meta, Some(task), "critical", locks);
+        self.edge(old, new);
+        self.top(meta).cur_seg = new;
+    }
+
+    pub fn critical_exit(&mut self, meta: &ThreadMeta, lock: u64) {
+        self.ensure_ctx(meta);
+        self.top(meta).locks.retain(|&l| l != lock);
+        self.split(meta, "after-critical");
+    }
+
+    pub fn record_access(&mut self, meta: &ThreadMeta, addr: u64, size: u64, write: bool) {
+        self.ensure_ctx(meta);
+        let seg = self.top(meta).cur_seg;
+        let s = &mut self.segments[seg as usize];
+        if write {
+            s.writes.insert(addr, addr + size);
+        } else {
+            s.reads.insert(addr, addr + size);
+        }
+    }
+
+    /// Resolve deferred edges and produce the final graph.
+    pub fn finalize(mut self) -> SegmentGraph {
+        // any context still open: its current segment is the task's last
+        for (_, stack) in self.ctx.iter() {
+            for c in stack {
+                if self.tasks[c.task as usize].last_seg.is_none() {
+                    // recorded below via direct assignment
+                }
+            }
+        }
+        let open: Vec<(TaskId, SegId)> = self
+            .ctx
+            .values()
+            .flatten()
+            .map(|c| (c.task, c.cur_seg))
+            .collect();
+        for (t, s) in open {
+            if self.tasks[t as usize].last_seg.is_none() {
+                self.tasks[t as usize].last_seg = Some(s);
+            }
+        }
+        // spawn edges: creator segment → first segment
+        let mut extra: Vec<(SegId, SegId)> = Vec::new();
+        for t in &self.tasks {
+            if let (Some(c), Some(f)) = (t.create_seg, t.first_seg) {
+                extra.push((c, f));
+            }
+            if let Some(f) = t.first_seg {
+                for &p in &t.dep_preds {
+                    let pred = &self.tasks[p as usize];
+                    if let Some(pl) = pred.last_seg {
+                        extra.push((pl, f));
+                    }
+                    if let Some(pf) = pred.fulfill_seg {
+                        extra.push((pf, f));
+                    }
+                }
+            }
+        }
+        for (t, s) in &self.last_to_seg {
+            let task = &self.tasks[*t as usize];
+            if let Some(l) = task.last_seg {
+                extra.push((l, *s));
+            }
+            if let Some(f) = task.fulfill_seg {
+                extra.push((f, *s));
+            }
+        }
+        self.edges.extend(extra);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let g = SegmentGraph {
+            segments: self.segments,
+            tasks: self.tasks,
+            edges: self.edges,
+        };
+        debug_assert!(g.validate().is_empty(), "{:?}", g.validate());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::Reachability;
+
+    fn meta(tid: Tid) -> ThreadMeta {
+        ThreadMeta {
+            tid,
+            sp: 0x7000_0000,
+            stack_low: 0x6000_0000,
+            stack_high: 0x7000_0100,
+            tls_base: 0x100,
+            tls_size: 64,
+            tls_gen: 0,
+        }
+    }
+
+    fn seg_of_task(g: &SegmentGraph, t: TaskId) -> SegId {
+        g.tasks[t as usize].first_seg.unwrap()
+    }
+
+    /// create + spawn in one step (most tests need no dep window)
+    fn spawn_task(b: &mut GraphBuilder, m: &ThreadMeta, fn_addr: u64) -> u64 {
+        let t = b.task_create(m, 0, fn_addr);
+        b.task_spawn(m, t);
+        t
+    }
+
+    #[test]
+    fn two_independent_tasks_are_unordered() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        let t1 = spawn_task(&mut b, &m, 0x100) as TaskId;
+        let t2 = spawn_task(&mut b, &m, 0x200) as TaskId;
+        b.task_begin(&m, t1 as u64);
+        b.record_access(&m, 0x5000, 8, true);
+        b.task_end(&m, t1 as u64);
+        b.task_begin(&m, t2 as u64);
+        b.record_access(&m, 0x5000, 8, true);
+        b.task_end(&m, t2 as u64);
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let s1 = seg_of_task(&g, t1);
+        let s2 = seg_of_task(&g, t2);
+        assert!(!r.ordered(s1, s2), "independent tasks must stay unordered");
+    }
+
+    #[test]
+    fn spawn_orders_creator_before_child_but_not_continuation() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        b.record_access(&m, 0x10, 8, true); // root segment access
+        let root_seg = 0;
+        let t1 = spawn_task(&mut b, &m, 0x100);
+        b.record_access(&m, 0x20, 8, true); // continuation access
+        b.task_begin(&m, t1);
+        b.task_end(&m, t1);
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let child = g.tasks[t1 as usize].first_seg.unwrap();
+        // creator's pre-spawn segment precedes the child...
+        assert!(r.reaches(root_seg, child));
+        // ...but the continuation segment does not (nor vice versa)
+        let cont = g
+            .segments
+            .iter()
+            .find(|s| s.kind == "after-spawn")
+            .unwrap()
+            .id;
+        assert!(!r.ordered(cont, child));
+    }
+
+    #[test]
+    fn taskwait_joins_children() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        let t1 = spawn_task(&mut b, &m, 0x100);
+        b.task_begin(&m, t1);
+        b.record_access(&m, 0x99, 8, true);
+        b.task_end(&m, t1);
+        b.taskwait(&m);
+        b.record_access(&m, 0x99, 8, true);
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let child = g.tasks[t1 as usize].first_seg.unwrap();
+        let after = g
+            .segments
+            .iter()
+            .find(|s| s.kind == "after-taskwait")
+            .unwrap()
+            .id;
+        assert!(r.reaches(child, after), "taskwait joins the child");
+    }
+
+    #[test]
+    fn dependences_order_sibling_tasks() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        let t1 = b.task_create(&m, 0, 0x100);
+        b.task_dep(t1, 0xAAAA, 8, DepKind::Out);
+        b.task_spawn(&m, t1);
+        let t2 = b.task_create(&m, 0, 0x200);
+        b.task_dep(t2, 0xAAAA, 8, DepKind::In);
+        b.task_spawn(&m, t2);
+        b.task_begin(&m, t1);
+        b.task_end(&m, t1);
+        b.task_begin(&m, t2);
+        b.task_end(&m, t2);
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        assert!(r.reaches(
+            g.tasks[t1 as usize].first_seg.unwrap(),
+            g.tasks[t2 as usize].first_seg.unwrap()
+        ));
+    }
+
+    #[test]
+    fn non_sibling_dependences_do_not_synchronize() {
+        // DRB173: depend clauses on tasks with different parents
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        let p1 = spawn_task(&mut b, &m, 0x100);
+        let p2 = spawn_task(&mut b, &m, 0x200);
+        b.task_begin(&m, p1);
+        let c1 = b.task_create(&m, 0, 0x110);
+        b.task_dep(c1, 0xBBBB, 8, DepKind::Out);
+        b.task_spawn(&m, c1);
+        b.task_begin(&m, c1);
+        b.task_end(&m, c1);
+        b.task_end(&m, p1);
+        b.task_begin(&m, p2);
+        let c2 = b.task_create(&m, 0, 0x210);
+        b.task_dep(c2, 0xBBBB, 8, DepKind::Out);
+        b.task_spawn(&m, c2);
+        b.task_begin(&m, c2);
+        b.task_end(&m, c2);
+        b.task_end(&m, p2);
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let s1 = g.tasks[c1 as usize].first_seg.unwrap();
+        let s2 = g.tasks[c2 as usize].first_seg.unwrap();
+        assert!(
+            !r.ordered(s1, s2),
+            "deps are scoped to siblings; non-sibling tasks stay concurrent"
+        );
+    }
+
+    #[test]
+    fn inoutset_members_are_mutually_unordered_but_follow_out() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        let t0 = b.task_create(&m, 0, 0x100);
+        b.task_dep(t0, 0xCC, 8, DepKind::Out);
+        b.task_spawn(&m, t0);
+        let t1 = b.task_create(&m, 0, 0x200);
+        b.task_dep(t1, 0xCC, 8, DepKind::Inoutset);
+        b.task_spawn(&m, t1);
+        let t2 = b.task_create(&m, 0, 0x300);
+        b.task_dep(t2, 0xCC, 8, DepKind::Inoutset);
+        b.task_spawn(&m, t2);
+        let t3 = b.task_create(&m, 0, 0x400);
+        b.task_dep(t3, 0xCC, 8, DepKind::In);
+        b.task_spawn(&m, t3);
+        for t in [t0, t1, t2, t3] {
+            b.task_begin(&m, t);
+            b.task_end(&m, t);
+        }
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let s = |t: u64| g.tasks[t as usize].first_seg.unwrap();
+        assert!(r.reaches(s(t0), s(t1)));
+        assert!(r.reaches(s(t0), s(t2)));
+        assert!(!r.ordered(s(t1), s(t2)), "set members unordered");
+        assert!(r.reaches(s(t1), s(t3)));
+        assert!(r.reaches(s(t2), s(t3)));
+    }
+
+    #[test]
+    fn mutexinoutset_tags_tasks_with_mutex_objects() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        let t1 = b.task_create(&m, 0, 0x100);
+        b.task_dep(t1, 0xDD, 8, DepKind::Mutexinoutset);
+        b.task_spawn(&m, t1);
+        let t2 = b.task_create(&m, 0, 0x200);
+        b.task_dep(t2, 0xDD, 8, DepKind::Mutexinoutset);
+        b.task_spawn(&m, t2);
+        for t in [t1, t2] {
+            b.task_begin(&m, t);
+            b.task_end(&m, t);
+        }
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let s1 = g.tasks[t1 as usize].first_seg.unwrap();
+        let s2 = g.tasks[t2 as usize].first_seg.unwrap();
+        assert!(!r.ordered(s1, s2), "members unordered (mutual exclusion only)");
+        assert_eq!(g.tasks[t1 as usize].mutex_objs, vec![0xDD]);
+        assert_eq!(g.tasks[t2 as usize].mutex_objs, vec![0xDD]);
+    }
+
+    #[test]
+    fn parallel_region_rule_eq1() {
+        // all segments of region 1 precede all segments of region 2
+        let mut b = GraphBuilder::new();
+        let m0 = meta(0);
+        let m1 = meta(1);
+        let r1 = b.parallel_begin(&m0, 2);
+        b.implicit_task_begin(&m0, r1, 0);
+        b.implicit_task_begin(&m1, r1, 1);
+        b.record_access(&m1, 0x42, 8, true);
+        let r1_seg = b.ctx[&1].last().unwrap().cur_seg;
+        b.implicit_task_end(&m0, r1, 0);
+        b.implicit_task_end(&m1, r1, 1);
+        b.parallel_end(&m0, r1);
+
+        let r2 = b.parallel_begin(&m0, 2);
+        b.implicit_task_begin(&m0, r2, 0);
+        b.implicit_task_begin(&m1, r2, 1);
+        let r2_seg = b.ctx[&1].last().unwrap().cur_seg;
+        b.implicit_task_end(&m0, r2, 0);
+        b.implicit_task_end(&m1, r2, 1);
+        b.parallel_end(&m0, r2);
+
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        assert!(
+            r.reaches(r1_seg, r2_seg),
+            "Eq. 1: p1 ≺ p2 ⇒ every segment of p1 ≺ every segment of p2"
+        );
+    }
+
+    #[test]
+    fn barrier_orders_team_segments() {
+        let mut b = GraphBuilder::new();
+        let m0 = meta(0);
+        let m1 = meta(1);
+        let r = b.parallel_begin(&m0, 2);
+        b.implicit_task_begin(&m0, r, 0);
+        b.implicit_task_begin(&m1, r, 1);
+        b.record_access(&m0, 0x10, 8, true);
+        let pre0 = b.ctx[&0].last().unwrap().cur_seg;
+        b.barrier(&m0, r);
+        b.barrier(&m1, r);
+        let post1 = b.ctx[&1].last().unwrap().cur_seg;
+        b.record_access(&m1, 0x10, 8, true);
+        let g = b.finalize();
+        let rc = Reachability::compute(&g);
+        assert!(rc.reaches(pre0, post1), "pre-barrier ≺ post-barrier across threads");
+    }
+
+    #[test]
+    fn two_barriers_create_distinct_sync_nodes() {
+        let mut b = GraphBuilder::new();
+        let m0 = meta(0);
+        let m1 = meta(1);
+        let r = b.parallel_begin(&m0, 2);
+        b.implicit_task_begin(&m0, r, 0);
+        b.implicit_task_begin(&m1, r, 1);
+        b.barrier(&m0, r);
+        b.barrier(&m1, r);
+        b.barrier(&m0, r);
+        b.barrier(&m1, r);
+        let g = b.finalize();
+        let n_barriers = g.segments.iter().filter(|s| s.kind == "barrier").count();
+        assert_eq!(n_barriers, 2);
+    }
+
+    #[test]
+    fn critical_sections_tag_segments_with_locks() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        b.critical_enter(&m, 7);
+        b.record_access(&m, 0x77, 8, true);
+        let in_crit = b.ctx[&0].last().unwrap().cur_seg;
+        b.critical_exit(&m, 7);
+        b.record_access(&m, 0x88, 8, true);
+        let after = b.ctx[&0].last().unwrap().cur_seg;
+        let g = b.finalize();
+        assert_eq!(g.segments[in_crit as usize].locks, vec![7]);
+        assert!(g.segments[after as usize].locks.is_empty());
+    }
+
+    #[test]
+    fn taskgroup_joins_descendants() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        b.taskgroup_begin(&m);
+        let t1 = spawn_task(&mut b, &m, 0x100);
+        b.task_begin(&m, t1);
+        // child created inside the member task (descendant)
+        let t2 = spawn_task(&mut b, &m, 0x110);
+        b.task_begin(&m, t2);
+        b.record_access(&m, 0x5A, 8, true);
+        b.task_end(&m, t2);
+        b.task_end(&m, t1);
+        b.taskgroup_end(&m);
+        b.record_access(&m, 0x5A, 8, true);
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let desc = g.tasks[t2 as usize].first_seg.unwrap();
+        let after = g
+            .segments
+            .iter()
+            .rfind(|s| s.kind == "after-taskgroup")
+            .unwrap()
+            .id;
+        assert!(r.reaches(desc, after), "taskgroup waits for descendants");
+    }
+
+    #[test]
+    fn user_deferrable_strips_inline_flags() {
+        let mut b = GraphBuilder::new();
+        b.set_user_deferrable(true);
+        let m = meta(0);
+        let t = b.task_create(&m, task_flags::INCLUDED, 0x100);
+        b.task_spawn(&m, t);
+        b.task_begin(&m, t);
+        b.record_access(&m, 0x123, 8, true);
+        b.task_end(&m, t);
+        b.record_access(&m, 0x123, 8, true);
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let child = g.tasks[t as usize].first_seg.unwrap();
+        let cont = g
+            .segments
+            .iter()
+            .find(|s| s.kind == "after-spawn")
+            .unwrap()
+            .id;
+        assert!(
+            !r.ordered(child, cont),
+            "annotated deferrable: no inline continuation edge"
+        );
+
+        // without the annotation, included tasks order the continuation
+        let mut b2 = GraphBuilder::new();
+        let t = b2.task_create(&m, task_flags::INCLUDED, 0x100);
+        b2.task_spawn(&m, t);
+        b2.task_begin(&m, t);
+        b2.task_end(&m, t);
+        b2.record_access(&m, 0x123, 8, true);
+        let g2 = b2.finalize();
+        let r2 = Reachability::compute(&g2);
+        let child = g2.tasks[t as usize].first_seg.unwrap();
+        let cont = g2
+            .segments
+            .iter()
+            .find(|s| s.kind == "after-inline-task")
+            .unwrap()
+            .id;
+        assert!(r2.reaches(child, cont));
+    }
+
+    #[test]
+    fn dot_export_mentions_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        let t = spawn_task(&mut b, &m, 0x100);
+        b.task_begin(&m, t);
+        b.task_end(&m, t);
+        let g = b.finalize();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("task"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Per-segment access interval trees (paper §III-B, Fig. 3).
+//!
+//! Each segment carries two interval trees — one for reads, one for
+//! writes. Dense memory accesses accumulate compactly: inserting an
+//! interval merges it with any overlapping or adjacent intervals, so a
+//! segment that sweeps an array stores one interval, not one entry per
+//! element. All operations are `O(log n)` in the number of stored
+//! disjoint intervals (the tree is a balanced ordered tree keyed by
+//! interval start).
+//!
+//! Intervals are half-open byte ranges `[lo, hi)`.
+
+use std::collections::BTreeMap;
+
+/// A set of disjoint half-open intervals with merge-on-insert.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalTree {
+    /// start → end (end exclusive); invariant: disjoint, non-adjacent.
+    map: BTreeMap<u64, u64>,
+    /// Total number of raw insertions (accesses recorded).
+    inserts: u64,
+}
+
+impl IntervalTree {
+    pub fn new() -> IntervalTree {
+        IntervalTree::default()
+    }
+
+    /// Number of disjoint intervals stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Raw accesses recorded (before merging).
+    pub fn accesses(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Total bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.map.iter().map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// Approximate host memory held by this tree, for Table II's memory
+    /// accounting.
+    pub fn heap_bytes(&self) -> u64 {
+        // BTreeMap node overhead approximation: 2 u64 per entry + node
+        // headers; 32 bytes/entry is a fair estimate.
+        self.map.len() as u64 * 32
+    }
+
+    /// Insert `[lo, hi)`, merging with overlapping or adjacent intervals.
+    pub fn insert(&mut self, lo: u64, hi: u64) {
+        if lo >= hi {
+            return;
+        }
+        self.inserts += 1;
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        // Absorb a predecessor that touches [lo, hi).
+        if let Some((&plo, &phi)) = self.map.range(..=lo).next_back() {
+            if phi >= lo {
+                if phi >= hi {
+                    return; // fully contained
+                }
+                new_lo = plo;
+                new_hi = new_hi.max(phi);
+                self.map.remove(&plo);
+            }
+        }
+        // Absorb successors that start within or adjacent to the range.
+        while let Some((&slo, &shi)) = self.map.range(new_lo..).next() {
+            if slo > new_hi {
+                break;
+            }
+            new_hi = new_hi.max(shi);
+            self.map.remove(&slo);
+        }
+        self.map.insert(new_lo, new_hi);
+    }
+
+    /// Does any stored interval overlap `[lo, hi)`?
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        if lo >= hi {
+            return false;
+        }
+        if let Some((_, &phi)) = self.map.range(..=lo).next_back() {
+            if phi > lo {
+                return true;
+            }
+        }
+        self.map.range(lo..hi).next().is_some()
+    }
+
+    /// Does the tree contain the byte at `addr`?
+    pub fn contains(&self, addr: u64) -> bool {
+        self.overlaps(addr, addr + 1)
+    }
+
+    /// Iterate the disjoint intervals in order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&lo, &hi)| (lo, hi))
+    }
+
+    /// Intersect with another tree, yielding every overlapping byte
+    /// range. This is the core of Algorithm 1's
+    /// `s1.w ∩ (s2.r ∪ s2.w)` test. Runs in
+    /// `O(min(n,m) · log(max(n,m)))` by probing the smaller tree's
+    /// intervals against the larger.
+    pub fn intersect(&self, other: &IntervalTree) -> Vec<(u64, u64)> {
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Vec::new();
+        for (lo, hi) in small.iter() {
+            // predecessor that may reach into [lo, hi)
+            if let Some((&plo, &phi)) = big.map.range(..=lo).next_back() {
+                if phi > lo {
+                    out.push((lo.max(plo), hi.min(phi)));
+                }
+            }
+            for (&slo, &shi) in big.map.range((
+                std::ops::Bound::Excluded(lo),
+                std::ops::Bound::Excluded(hi),
+            )) {
+                out.push((slo, hi.min(shi)));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if any byte overlaps between the two trees (early-exit form).
+    pub fn intersects(&self, other: &IntervalTree) -> bool {
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (lo, hi) in small.iter() {
+            if big.overlaps(lo, hi) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Union of two trees (used to form `s2.r ∪ s2.w` without mutating).
+    pub fn union(&self, other: &IntervalTree) -> IntervalTree {
+        let (mut out, rest) = if self.len() >= other.len() {
+            (self.clone(), other)
+        } else {
+            (other.clone(), self)
+        };
+        for (lo, hi) in rest.iter() {
+            out.insert(lo, hi);
+        }
+        out
+    }
+}
+
+/// A naive interval set (sorted scan) with identical semantics — the
+/// baseline for the E9 ablation bench and the property-test oracle.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveIntervalSet {
+    items: Vec<(u64, u64)>,
+}
+
+impl NaiveIntervalSet {
+    pub fn insert(&mut self, lo: u64, hi: u64) {
+        if lo >= hi {
+            return;
+        }
+        self.items.push((lo, hi));
+    }
+
+    pub fn contains(&self, addr: u64) -> bool {
+        self.items.iter().any(|&(lo, hi)| addr >= lo && addr < hi)
+    }
+
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        self.items.iter().any(|&(ilo, ihi)| ilo < hi && lo < ihi)
+    }
+
+    pub fn intersects(&self, other: &NaiveIntervalSet) -> bool {
+        self.items.iter().any(|&(lo, hi)| other.overlaps(lo, hi))
+    }
+
+    /// Normalized disjoint intervals (for comparison with the tree).
+    pub fn normalized(&self) -> Vec<(u64, u64)> {
+        let mut v = self.items.clone();
+        v.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for (lo, hi) in v {
+            match out.last_mut() {
+                Some((_, phi)) if lo <= *phi => *phi = (*phi).max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_merge_adjacent() {
+        let mut t = IntervalTree::new();
+        t.insert(0, 8);
+        t.insert(8, 16); // adjacent → merged
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 16)]);
+        t.insert(32, 40);
+        assert_eq!(t.len(), 2);
+        t.insert(10, 34); // bridges both
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 40)]);
+        assert_eq!(t.covered_bytes(), 40);
+        assert_eq!(t.accesses(), 4);
+    }
+
+    #[test]
+    fn contained_insert_is_absorbed() {
+        let mut t = IntervalTree::new();
+        t.insert(0, 100);
+        t.insert(10, 20);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().next(), Some((0, 100)));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let mut t = IntervalTree::new();
+        t.insert(5, 5);
+        t.insert(7, 3);
+        assert!(t.is_empty());
+        assert!(!t.contains(5));
+        assert!(!t.overlaps(0, 100));
+        assert_eq!(t.intersect(&IntervalTree::new()), vec![]);
+    }
+
+    #[test]
+    fn overlap_queries() {
+        let mut t = IntervalTree::new();
+        t.insert(10, 20);
+        t.insert(30, 40);
+        assert!(t.overlaps(15, 16));
+        assert!(t.overlaps(19, 31));
+        assert!(!t.overlaps(20, 30), "half-open: 20 and 30 not covered");
+        assert!(t.contains(10));
+        assert!(!t.contains(20));
+        assert!(t.contains(39));
+    }
+
+    #[test]
+    fn dense_array_sweep_stays_compact() {
+        // a segment writing a[0..1000] as 8-byte elements
+        let mut t = IntervalTree::new();
+        for i in 0..1000u64 {
+            t.insert(0x1000 + i * 8, 0x1000 + i * 8 + 8);
+        }
+        assert_eq!(t.len(), 1, "dense accesses accumulate into one interval");
+        assert_eq!(t.covered_bytes(), 8000);
+        assert_eq!(t.accesses(), 1000);
+    }
+
+    #[test]
+    fn intersect_reports_overlap_ranges() {
+        let mut a = IntervalTree::new();
+        a.insert(0, 10);
+        a.insert(20, 30);
+        let mut b = IntervalTree::new();
+        b.insert(5, 25);
+        assert_eq!(a.intersect(&b), vec![(5, 10), (20, 25)]);
+        assert_eq!(b.intersect(&a), vec![(5, 10), (20, 25)], "symmetric");
+        assert!(a.intersects(&b));
+        let mut c = IntervalTree::new();
+        c.insert(10, 20);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersect(&c), vec![]);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let mut a = IntervalTree::new();
+        a.insert(0, 4);
+        let mut b = IntervalTree::new();
+        b.insert(8, 12);
+        let u = a.union(&b);
+        assert!(u.contains(0) && u.contains(9) && !u.contains(5));
+    }
+
+    proptest! {
+        #[test]
+        fn tree_matches_naive_model(
+            ops in prop::collection::vec((0u64..256, 1u64..32), 1..120),
+            probes in prop::collection::vec((0u64..300, 1u64..16), 1..40),
+        ) {
+            let mut tree = IntervalTree::new();
+            let mut naive = NaiveIntervalSet::default();
+            for (lo, len) in ops {
+                tree.insert(lo, lo + len);
+                naive.insert(lo, lo + len);
+            }
+            prop_assert_eq!(tree.iter().collect::<Vec<_>>(), naive.normalized());
+            for (lo, len) in probes {
+                prop_assert_eq!(tree.overlaps(lo, lo + len), naive.overlaps(lo, lo + len));
+                prop_assert_eq!(tree.contains(lo), naive.contains(lo));
+            }
+        }
+
+        #[test]
+        fn intersect_agrees_with_naive(
+            a_ops in prop::collection::vec((0u64..200, 1u64..24), 0..60),
+            b_ops in prop::collection::vec((0u64..200, 1u64..24), 0..60),
+        ) {
+            let mut ta = IntervalTree::new();
+            let mut na = NaiveIntervalSet::default();
+            for (lo, len) in a_ops { ta.insert(lo, lo + len); na.insert(lo, lo + len); }
+            let mut tb = IntervalTree::new();
+            let mut nb = NaiveIntervalSet::default();
+            for (lo, len) in b_ops { tb.insert(lo, lo + len); nb.insert(lo, lo + len); }
+            prop_assert_eq!(ta.intersects(&tb), na.intersects(&nb));
+            // every byte reported by intersect() is in both trees, and
+            // every commonly-covered byte is reported
+            let ranges = ta.intersect(&tb);
+            for &(lo, hi) in &ranges {
+                for x in lo..hi {
+                    prop_assert!(ta.contains(x) && tb.contains(x));
+                }
+            }
+            for x in 0u64..232 {
+                let both = ta.contains(x) && tb.contains(x);
+                let reported = ranges.iter().any(|&(lo, hi)| x >= lo && x < hi);
+                prop_assert_eq!(both, reported, "byte {}", x);
+            }
+        }
+
+        #[test]
+        fn invariants_hold(ops in prop::collection::vec((0u64..1000, 1u64..64), 0..200)) {
+            let mut t = IntervalTree::new();
+            for (lo, len) in ops { t.insert(lo, lo + len); }
+            // disjoint and non-adjacent, strictly ordered
+            let v: Vec<_> = t.iter().collect();
+            for w in v.windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "disjoint+non-adjacent: {:?}", v);
+            }
+            for &(lo, hi) in &v {
+                prop_assert!(lo < hi);
+            }
+        }
+    }
+}

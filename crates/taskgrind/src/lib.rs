@@ -1,0 +1,470 @@
+//! taskgrind — a heavyweight-DBI determinacy-race analyzer for
+//! task-parallel programs.
+//!
+//! This crate is the reproduction of the paper's contribution: a
+//! grindcore (Valgrind-analog) *tool* that
+//!
+//! 1. records every memory access of the instrumented program into
+//!    per-segment read/write **interval trees** ([`itree`], §III-B);
+//! 2. builds a **segment graph** of the execution from the parallel
+//!    runtime's client requests ([`graph`], §II-A/§III-A) — supporting
+//!    OpenMP-style tasks with `in/out/inout/inoutset/mutexinoutset`
+//!    dependences, taskwait/taskgroup/barrier/critical, parallel
+//!    regions (Eq. 1), and Cilk-style spawn/sync riding the same
+//!    machinery;
+//! 3. runs the **determinacy-race analysis** (Algorithm 1) over all
+//!    unordered segment pairs ([`analysis`]), with the §IV
+//!    false-positive suppression layers: symbol ignore-lists, allocator
+//!    replacement against memory recycling, TLS (TCB/DTV) records, and
+//!    segment-local stack frames;
+//! 4. renders **meaningful reports** with debug info and per-block
+//!    allocation stack traces ([`report`], Listing 6).
+//!
+//! The one-call entry point is [`check_module`]:
+//!
+//! ```
+//! use taskgrind::{check_module, TaskgrindConfig};
+//!
+//! let src = r#"
+//! int main(void) {
+//!     int *x = (int*) malloc(2 * sizeof(int));
+//!     #pragma omp parallel num_threads(2)
+//!     {
+//!         #pragma omp single
+//!         {
+//!             #pragma omp task shared(x)
+//!             x[0] = 42;
+//!             #pragma omp task shared(x)
+//!             x[0] = 43;
+//!         }
+//!     }
+//!     return 0;
+//! }
+//! "#;
+//! let module = guest_rt::build_single("task.c", src).unwrap();
+//! let result = check_module(&module, &[], &TaskgrindConfig::default());
+//! assert!(result.run.ok());
+//! assert!(!result.reports.is_empty(), "the two tasks race on x[0]");
+//! ```
+
+pub mod analysis;
+pub mod graph;
+pub mod itree;
+pub mod reach;
+pub mod report;
+pub mod suppressions;
+pub mod tool;
+
+use analysis::{AnalysisOutput, SuppressOptions};
+use graph::SegmentGraph;
+use grindcore::{ExecMode, RunResult, Vm, VmConfig};
+use reach::Reachability;
+use report::{AllocBlock, RaceReport};
+use std::sync::Arc;
+use std::time::Instant;
+use tga::module::Module;
+use tool::{RecordOptions, TaskgrindTool};
+
+/// Full configuration for a Taskgrind run.
+#[derive(Clone, Debug, Default)]
+pub struct TaskgrindConfig {
+    /// VM configuration (thread count, scheduler seed, quantum, ...).
+    pub vm: VmConfig,
+    /// Recording options (ignore/instrument lists, allocator replacement).
+    pub record: RecordOptions,
+    /// Suppression toggles for the analysis pass.
+    pub suppress: SuppressOptions,
+    /// Host threads for the analysis pass; 1 = the paper's sequential
+    /// pass, >1 = the future-work parallel pass.
+    pub analysis_threads: usize,
+    /// Valgrind-style report suppressions (see [`suppressions`]).
+    pub suppressions: suppressions::Suppressions,
+}
+
+/// Everything a Taskgrind run produces.
+pub struct TaskgrindResult {
+    /// The instrumented execution's outcome.
+    pub run: RunResult,
+    /// The segment graph of the execution.
+    pub graph: SegmentGraph,
+    /// Heap blocks recorded by the allocator replacement.
+    pub blocks: Vec<AllocBlock>,
+    /// Raw analysis output (candidates + suppression counters).
+    pub analysis: AnalysisOutput,
+    /// Deduplicated reports (after suppression-file filtering).
+    pub reports: Vec<RaceReport>,
+    /// Reports removed by the suppression file.
+    pub suppressed_reports: Vec<RaceReport>,
+    /// Wall-clock seconds of the recording phase (execution only — the
+    /// paper reports this separately from the analysis).
+    pub recording_secs: f64,
+    /// Wall-clock seconds of graph finalize + reachability + Algorithm 1.
+    pub analysis_secs: f64,
+    /// Host bytes used by tool structures at end of recording.
+    pub tool_bytes: u64,
+}
+
+impl TaskgrindResult {
+    /// Number of distinct race reports.
+    pub fn n_reports(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Render every report in Taskgrind style.
+    pub fn render_all(&self) -> String {
+        self.reports
+            .iter()
+            .map(report::render_taskgrind)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Run a compiled module under Taskgrind: record, then analyze.
+pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> TaskgrindResult {
+    let tool = TaskgrindTool::new(cfg.record.clone());
+    let state = tool.state();
+    let mut vm = Vm::new(module.clone(), Box::new(tool), cfg.vm.clone());
+
+    let t0 = Instant::now();
+    let run = vm.run(ExecMode::Dbi, args);
+    let recording_secs = t0.elapsed().as_secs_f64();
+    let tool_bytes = run.metrics.tool_bytes;
+    drop(vm);
+
+    let mut rec = take_recording(state);
+    rec.blocks.sort_by_key(|b| b.base);
+    let module_arc = rec
+        .module
+        .take()
+        .unwrap_or_else(|| Arc::new(module.clone()));
+
+    let t1 = Instant::now();
+    let graph = rec.builder.finalize();
+    let reach = Reachability::compute(&graph);
+    let analysis = if cfg.analysis_threads > 1 {
+        analysis::run_parallel(&graph, &reach, &cfg.suppress, cfg.analysis_threads)
+    } else {
+        analysis::run(&graph, &reach, &cfg.suppress)
+    };
+    let reports = report::summarize(
+        &graph,
+        &module_arc,
+        &rec.blocks,
+        &analysis.candidates,
+        &cfg.record.ignore_list,
+    );
+    let (reports, suppressed_reports) = cfg.suppressions.apply(reports);
+    let analysis_secs = t1.elapsed().as_secs_f64();
+
+    TaskgrindResult {
+        run,
+        graph,
+        blocks: rec.blocks,
+        analysis,
+        reports,
+        suppressed_reports,
+        recording_secs,
+        analysis_secs,
+        tool_bytes,
+    }
+}
+
+/// Extract the sole remaining owner of the recording state.
+fn take_recording(state: std::rc::Rc<std::cell::RefCell<tool::Recording>>) -> tool::Recording {
+    match std::rc::Rc::try_unwrap(state) {
+        Ok(cell) => cell.into_inner(),
+        Err(_) => panic!("recording state still shared after VM drop"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str, nthreads: u64) -> TaskgrindResult {
+        let m = guest_rt::build_single("test.c", src).expect("compiles");
+        let cfg = TaskgrindConfig {
+            vm: VmConfig { nthreads, ..Default::default() },
+            ..Default::default()
+        };
+        check_module(&m, &[], &cfg)
+    }
+
+    // No num_threads clause: the team size follows the VM's
+    // OMP_NUM_THREADS analog, so the same source runs 1- and 2-threaded.
+    const RACY_TASKS: &str = r#"
+int main(void) {
+    int *x = (int*) malloc(2 * sizeof(int));
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(x)
+            x[0] = 42;
+            #pragma omp task shared(x)
+            x[0] = 43;
+        }
+    }
+    return 0;
+}
+"#;
+
+    #[test]
+    fn detects_racy_tasks_multithreaded() {
+        let r = check(RACY_TASKS, 2);
+        assert!(r.run.ok(), "{:?}", r.run.error);
+        assert!(!r.reports.is_empty(), "missing race report");
+        let text = r.render_all();
+        assert!(text.contains("declared independent"), "{text}");
+        assert!(text.contains("test.c:"), "reports carry debug info: {text}");
+        assert!(text.contains("allocated in block"), "{text}");
+    }
+
+    #[test]
+    fn detects_racy_tasks_single_threaded() {
+        // On one thread LLVM-style serialization makes tasks included;
+        // Taskgrind still sees the declared independence.
+        let r = check(RACY_TASKS, 1);
+        assert!(r.run.ok(), "{:?}", r.run.error);
+        // Included tasks order the continuation, so without the paper's
+        // deferrable annotation the serial run hides the race...
+        let serial_reports = r.n_reports();
+        // ...but with the annotation (tg_set_deferrable) it reappears.
+        let annotated = r#"
+void tg_set_deferrable(long v);
+int main(void) {
+    tg_set_deferrable(1);
+    int *x = (int*) malloc(2 * sizeof(int));
+    #pragma omp parallel num_threads(1)
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(x)
+            x[0] = 42;
+            #pragma omp task shared(x)
+            x[0] = 43;
+        }
+    }
+    return 0;
+}
+"#;
+        let r2 = check(annotated, 1);
+        assert!(r2.run.ok(), "{:?}", r2.run.error);
+        assert!(
+            r2.n_reports() > 0,
+            "deferrable annotation must expose the race single-threaded (paper V-B)"
+        );
+        assert_eq!(serial_reports, 0, "included tasks serialize without annotation");
+    }
+
+    #[test]
+    fn dependent_tasks_do_not_report() {
+        let src = r#"
+int main(void) {
+    int x = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: x) shared(x)
+            x = 1;
+            #pragma omp task depend(inout: x) shared(x)
+            x = x + 1;
+        }
+    }
+    return x;
+}
+"#;
+        let r = check(src, 2);
+        assert!(r.run.ok(), "{:?}", r.run.error);
+        assert_eq!(r.n_reports(), 0, "{}", r.render_all());
+    }
+
+    #[test]
+    fn taskwait_protected_is_clean() {
+        let src = r#"
+int main(void) {
+    int x = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(x)
+            x = 1;
+            #pragma omp taskwait
+            x = x + 1;
+        }
+    }
+    return x;
+}
+"#;
+        let r = check(src, 2);
+        assert_eq!(r.n_reports(), 0, "{}", r.render_all());
+    }
+
+    #[test]
+    fn missing_taskwait_reports() {
+        let src = r#"
+int main(void) {
+    int x = 0;
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(x)
+            x = 1;
+            x = x + 1;   // concurrent with the task
+        }
+    }
+    return x;
+}
+"#;
+        let r = check(src, 2);
+        assert!(r.n_reports() > 0);
+    }
+
+    #[test]
+    fn runtime_accesses_are_ignored() {
+        // A clean program: all queue/lock traffic of libomp must be
+        // filtered by the ignore-list (IV-A), leaving zero reports.
+        let src = r#"
+int main(void) {
+    int a[32];
+    #pragma omp parallel num_threads(4)
+    {
+        #pragma omp single
+        {
+            #pragma omp taskloop grainsize(8) shared(a)
+            for (int i = 0; i < 32; i++) a[i] = i;
+        }
+    }
+    return a[7];
+}
+"#;
+        let r = check(src, 4);
+        assert!(r.run.ok(), "{:?}", r.run.error);
+        assert_eq!(r.n_reports(), 0, "{}", r.render_all());
+        assert!(r.analysis.pairs_checked > 0);
+    }
+
+    #[test]
+    fn memory_recycling_suppressed_by_allocator_replacement() {
+        // TMB 1000: two independent tasks malloc/write/free — the guest
+        // allocator would hand both the same address.
+        let src = r#"
+int main(void) {
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 2; i++) {
+                #pragma omp task
+                {
+                    int *x = (int*) malloc(4);
+                    x[0] = 1;
+                    free(x);
+                }
+            }
+        }
+    }
+    return 0;
+}
+"#;
+        let r = check(src, 1);
+        assert!(r.run.ok(), "{:?}", r.run.error);
+        assert_eq!(r.n_reports(), 0, "replacement kills recycling FPs: {}", r.render_all());
+        assert!(r.blocks.len() >= 2, "each task got its own block");
+
+        // Naive mode (no replacement): the recycling FP reappears.
+        let m = guest_rt::build_single("test.c", src).unwrap();
+        let cfg2 = TaskgrindConfig {
+            vm: VmConfig { nthreads: 2, ..Default::default() },
+            record: RecordOptions { replace_allocator: false, ..Default::default() },
+            ..Default::default()
+        };
+        let naive2 = check_module(&m, &[], &cfg2);
+        assert!(
+            naive2.n_reports() > 0,
+            "without replacement, recycling shows up as a false positive"
+        );
+    }
+
+    #[test]
+    fn runtime_allocator_replacement_kills_payload_recycling() {
+        // Task capture payloads come from the runtime's built-in
+        // allocator (__kmp_fast_alloc). The paper's Taskgrind does not
+        // cover built-in allocators ("kept as future work", IV-B):
+        // with replacement off, sequential independent tasks recycle
+        // payload blocks and alias — a false positive. Our future-work
+        // implementation replaces them too.
+        let src = r#"
+void tg_set_deferrable(long v);
+int sink;
+int main(void) {
+    tg_set_deferrable(1);
+    #pragma omp parallel num_threads(1)
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 2; i++) {
+                int v = i;
+                #pragma omp task firstprivate(v)
+                sink = v;   // reads its payload copy of v
+            }
+        }
+    }
+    return 0;
+}
+"#;
+        let m = guest_rt::build_single("payload.c", src).unwrap();
+        // full tool: clean except the intended sink conflict? sink is a
+        // genuine shared write conflict between the two tasks — exclude
+        // it by checking only heap-region reports.
+        let count_heap = |r: &TaskgrindResult| {
+            r.reports.iter().filter(|rep| rep.region == "heap").count()
+        };
+        let full = check_module(&m, &[], &TaskgrindConfig::default());
+        assert_eq!(count_heap(&full), 0, "{}", full.render_all());
+
+        let limited = TaskgrindConfig {
+            record: RecordOptions { replace_runtime_allocator: false, ..Default::default() },
+            ..Default::default()
+        };
+        let lim = check_module(&m, &[], &limited);
+        assert!(
+            count_heap(&lim) > 0,
+            "paper limitation: recycled payloads alias across tasks: {}",
+            lim.render_all()
+        );
+    }
+
+    #[test]
+    fn suppression_files_filter_reports() {
+        let m = guest_rt::build_single("test.c", RACY_TASKS).unwrap();
+        let mut cfg = TaskgrindConfig {
+            vm: VmConfig { nthreads: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let before = check_module(&m, &[], &cfg);
+        assert!(before.n_reports() > 0);
+        cfg.suppressions = suppressions::Suppressions::parse("test.c:* *").unwrap();
+        let after = check_module(&m, &[], &cfg);
+        assert_eq!(after.n_reports(), 0);
+        assert_eq!(after.suppressed_reports.len(), before.n_reports());
+        // the raw analysis is unchanged — only reporting is filtered
+        assert_eq!(
+            after.analysis.candidates.len(),
+            before.analysis.candidates.len()
+        );
+    }
+
+    #[test]
+    fn timing_and_memory_are_reported() {
+        let r = check(RACY_TASKS, 2);
+        assert!(r.recording_secs > 0.0);
+        assert!(r.analysis_secs >= 0.0);
+        assert!(r.tool_bytes > 0);
+        assert!(r.graph.n_nodes() > 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Error reporting (paper §III-C, §V-C, Listings 5–6).
+//!
+//! Taskgrind overloads the memory allocator to save a stack trace on
+//! each block allocation, so conflicting accesses can be matched with
+//! source locations from the binary's debug information. A report reads:
+//!
+//! ```text
+//! Segments task.1.c:8 and task.1.c:11 were declared independent while
+//!     accessing the same memory address
+//! 8 bytes from 0xc3ea040 allocated in block 0xc3ea040 of size 8
+//! from task.1.c:3
+//! ```
+//!
+//! [`render_minimal`] reproduces the ROMP-style report (Listing 5) —
+//! raw shadow addresses, no source information — used by the error-
+//! reporting comparison (E4).
+
+use crate::analysis::Candidate;
+use crate::graph::{SegId, SegmentGraph};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tga::module::Module;
+
+/// A heap block recorded by the allocator replacement.
+#[derive(Clone, Debug)]
+pub struct AllocBlock {
+    pub base: u64,
+    pub size: u64,
+    /// Guest return addresses, innermost first.
+    pub alloc_stack: Vec<u64>,
+}
+
+/// Locate the block containing `addr` among blocks sorted by base.
+pub fn find_block(blocks: &[AllocBlock], addr: u64) -> Option<&AllocBlock> {
+    let idx = blocks.partition_point(|b| b.base <= addr);
+    if idx == 0 {
+        return None;
+    }
+    let b = &blocks[idx - 1];
+    (addr < b.base + b.size).then_some(b)
+}
+
+/// A deduplicated determinacy-race report.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Source sites of the two conflicting segments (`file:line`).
+    pub site1: String,
+    pub site2: String,
+    /// An example conflicting address and the bytes overlapping there.
+    pub example_addr: u64,
+    pub example_bytes: u64,
+    /// Total distinct candidate ranges merged into this report.
+    pub occurrences: usize,
+    /// Heap block info when the address belongs to a recorded block.
+    pub block: Option<(u64, u64, String)>,
+    /// Memory-region classification for the report text.
+    pub region: &'static str,
+}
+
+fn seg_site(g: &SegmentGraph, module: &Module, seg: SegId) -> String {
+    let s = &g.segments[seg as usize];
+    let Some(tid) = s.task else {
+        return format!("sync#{seg}");
+    };
+    let t = &g.tasks[tid as usize];
+    if t.fn_addr != 0 {
+        if let Some(loc) = module.line_for(t.fn_addr) {
+            return loc.to_string();
+        }
+        if let Some(f) = module.find_func(t.fn_addr) {
+            return f.name.clone();
+        }
+    }
+    if t.implicit {
+        format!("implicit-task#{tid}")
+    } else {
+        format!("task#{tid}")
+    }
+}
+
+/// Resolve the first stack frame that falls in user code (skipping the
+/// allocator and runtime frames) to a `file:line`.
+fn alloc_site(module: &Module, stack: &[u64], ignore: &[String]) -> String {
+    for &pc in stack {
+        let Some(f) = module.find_func(pc) else { continue };
+        let ignored = ignore
+            .iter()
+            .any(|p| grindcore::tool::pattern_matches(p, &f.name));
+        if ignored {
+            continue;
+        }
+        if let Some(loc) = module.line_for(pc) {
+            return loc.to_string();
+        }
+    }
+    "<unknown>".to_string()
+}
+
+/// Group candidates into per-(site-pair, block) reports.
+pub fn summarize(
+    g: &SegmentGraph,
+    module: &Arc<Module>,
+    blocks: &[AllocBlock],
+    candidates: &[Candidate],
+    ignore: &[String],
+) -> Vec<RaceReport> {
+    let mut grouped: BTreeMap<(String, String, u64), RaceReport> = BTreeMap::new();
+    for c in candidates {
+        let mut s1 = seg_site(g, module, c.seg1);
+        let mut s2 = seg_site(g, module, c.seg2);
+        if s1 > s2 {
+            std::mem::swap(&mut s1, &mut s2);
+        }
+        let block = find_block(blocks, c.lo);
+        let block_key = block.map(|b| b.base).unwrap_or(0);
+        let region = match block {
+            Some(_) => "heap",
+            None => {
+                if c.lo >= module.data_base && c.lo < module.data_end() {
+                    "global"
+                } else if c.lo >= 0x7000_0000_0000 {
+                    "stack"
+                } else {
+                    "memory"
+                }
+            }
+        };
+        let entry = grouped.entry((s1.clone(), s2.clone(), block_key)).or_insert_with(|| {
+            RaceReport {
+                site1: s1,
+                site2: s2,
+                example_addr: c.lo,
+                example_bytes: c.hi - c.lo,
+                occurrences: 0,
+                block: block.map(|b| (b.base, b.size, alloc_site(module, &b.alloc_stack, ignore))),
+                region,
+            }
+        });
+        entry.occurrences += 1;
+    }
+    grouped.into_values().collect()
+}
+
+/// Render in Taskgrind's style (Listing 6).
+pub fn render_taskgrind(r: &RaceReport) -> String {
+    let mut out = format!(
+        "Segments {} and {} were declared independent while accessing the same memory address\n",
+        r.site1, r.site2
+    );
+    match &r.block {
+        Some((base, size, site)) => {
+            out.push_str(&format!(
+                "{} bytes from {:#x} allocated in block {:#x} of size {}\nfrom {}\n",
+                r.example_bytes, r.example_addr, base, size, site
+            ));
+        }
+        None => {
+            out.push_str(&format!(
+                "{} bytes from {:#x} in {} memory\n",
+                r.example_bytes, r.example_addr, r.region
+            ));
+        }
+    }
+    if r.occurrences > 1 {
+        out.push_str(&format!("({} conflicting ranges total)\n", r.occurrences));
+    }
+    out
+}
+
+/// Render in ROMP's style (Listing 5): no source information at all.
+pub fn render_minimal(r: &RaceReport) -> String {
+    format!("data race found:\n  addr = {:#x}\n", r.example_addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks() -> Vec<AllocBlock> {
+        vec![
+            AllocBlock { base: 0x1000, size: 16, alloc_stack: vec![] },
+            AllocBlock { base: 0x2000, size: 8, alloc_stack: vec![] },
+        ]
+    }
+
+    #[test]
+    fn block_lookup() {
+        let b = blocks();
+        assert_eq!(find_block(&b, 0x1000).unwrap().base, 0x1000);
+        assert_eq!(find_block(&b, 0x100f).unwrap().base, 0x1000);
+        assert!(find_block(&b, 0x1010).is_none());
+        assert!(find_block(&b, 0xfff).is_none());
+        assert_eq!(find_block(&b, 0x2007).unwrap().base, 0x2000);
+        assert!(find_block(&b, 0x2008).is_none());
+    }
+
+    #[test]
+    fn render_formats() {
+        let r = RaceReport {
+            site1: "task.c:8".into(),
+            site2: "task.c:11".into(),
+            example_addr: 0xc3ea040,
+            example_bytes: 4,
+            occurrences: 1,
+            block: Some((0xc3ea040, 8, "task.c:3".into())),
+            region: "heap",
+        };
+        let text = render_taskgrind(&r);
+        assert!(text.contains("task.c:8 and task.c:11"));
+        assert!(text.contains("declared independent"));
+        assert!(text.contains("4 bytes from 0xc3ea040"));
+        assert!(text.contains("block 0xc3ea040 of size 8"));
+        assert!(text.contains("from task.c:3"));
+
+        let minimal = render_minimal(&r);
+        assert!(minimal.contains("data race found"));
+        assert!(!minimal.contains("task.c"), "ROMP style has no source info");
+    }
+
+    #[test]
+    fn non_heap_report_names_region() {
+        let r = RaceReport {
+            site1: "a.c:1".into(),
+            site2: "a.c:2".into(),
+            example_addr: 0x7000_0000_1000,
+            example_bytes: 8,
+            occurrences: 3,
+            block: None,
+            region: "stack",
+        };
+        let text = render_taskgrind(&r);
+        assert!(text.contains("in stack memory"));
+        assert!(text.contains("3 conflicting ranges"));
+    }
+}

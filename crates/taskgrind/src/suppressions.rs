@@ -1,0 +1,150 @@
+//! Valgrind-style suppression files for race reports.
+//!
+//! Valgrind tools read `--suppressions=` files to silence known
+//! reports; Taskgrind's equivalent matches the two segment sites of a
+//! report against glob patterns (`*` suffix wildcard, as in
+//! ignore-lists). Format, one rule per line:
+//!
+//! ```text
+//! # comment
+//! task.c:8  task.c:11      # exact pair (order-insensitive)
+//! lulesh.c:*  *            # anything involving lulesh.c
+//! ```
+
+use crate::report::RaceReport;
+use grindcore::tool::pattern_matches;
+
+/// One suppression rule: a pair of site patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    pub a: String,
+    pub b: String,
+}
+
+/// A parsed suppression set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Suppressions {
+    pub rules: Vec<Rule>,
+}
+
+/// A malformed suppression line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "suppression file line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Suppressions {
+    /// Parse the line-based format.
+    pub fn parse(text: &str) -> Result<Suppressions, ParseError> {
+        let mut rules = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (a, b) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(a), Some(b), None) => (a, b),
+                _ => {
+                    return Err(ParseError {
+                        line: i + 1,
+                        msg: format!("expected two site patterns, got `{line}`"),
+                    })
+                }
+            };
+            rules.push(Rule { a: a.to_string(), b: b.to_string() });
+        }
+        Ok(Suppressions { rules })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Does any rule match this report (in either site order)?
+    pub fn matches(&self, report: &RaceReport) -> bool {
+        self.rules.iter().any(|r| {
+            (pattern_matches(&r.a, &report.site1) && pattern_matches(&r.b, &report.site2))
+                || (pattern_matches(&r.a, &report.site2)
+                    && pattern_matches(&r.b, &report.site1))
+        })
+    }
+
+    /// Split reports into (kept, suppressed).
+    pub fn apply(&self, reports: Vec<RaceReport>) -> (Vec<RaceReport>, Vec<RaceReport>) {
+        if self.is_empty() {
+            return (reports, Vec::new());
+        }
+        reports.into_iter().partition(|r| !self.matches(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(s1: &str, s2: &str) -> RaceReport {
+        RaceReport {
+            site1: s1.into(),
+            site2: s2.into(),
+            example_addr: 0x1000,
+            example_bytes: 8,
+            occurrences: 1,
+            block: None,
+            region: "heap",
+        }
+    }
+
+    #[test]
+    fn parse_rules_and_comments() {
+        let s = Suppressions::parse(
+            "# known issue\n task.c:8 task.c:11\n\nlulesh.c:* *   # everything there\n",
+        )
+        .unwrap();
+        assert_eq!(s.rules.len(), 2);
+        assert_eq!(s.rules[0], Rule { a: "task.c:8".into(), b: "task.c:11".into() });
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = Suppressions::parse("ok.c:1 ok.c:2\nonly-one-field\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = Suppressions::parse("a b c\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn matching_is_order_insensitive() {
+        let s = Suppressions::parse("task.c:8 task.c:11").unwrap();
+        assert!(s.matches(&report("task.c:8", "task.c:11")));
+        assert!(s.matches(&report("task.c:11", "task.c:8")));
+        assert!(!s.matches(&report("task.c:8", "task.c:12")));
+    }
+
+    #[test]
+    fn globs_match_prefixes() {
+        let s = Suppressions::parse("lulesh.c:* *").unwrap();
+        assert!(s.matches(&report("lulesh.c:42", "other.c:1")));
+        assert!(s.matches(&report("other.c:1", "lulesh.c:42")));
+        assert!(!s.matches(&report("other.c:1", "third.c:9")));
+    }
+
+    #[test]
+    fn apply_partitions() {
+        let s = Suppressions::parse("a.c:* *").unwrap();
+        let (kept, suppressed) =
+            s.apply(vec![report("a.c:1", "b.c:2"), report("c.c:3", "d.c:4")]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(kept[0].site1, "c.c:3");
+    }
+}

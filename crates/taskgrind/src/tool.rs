@@ -1,0 +1,339 @@
+//! The Taskgrind tool plugin: recording phase glue between grindcore
+//! and the segment-graph builder (paper Fig. 2).
+//!
+//! * The lifted superblocks of symbols matching the **ignore-list** are
+//!   left uninstrumented (or, with an **instrument-list**, only matching
+//!   symbols are instrumented) — §IV-A's mechanism, applied at
+//!   translation time so suppressed code costs nothing per execution.
+//! * Client requests from the guest runtime drive the [`GraphBuilder`].
+//! * `malloc`/`calloc` are replaced with a host-side bump allocator that
+//!   never recycles and records an allocation stack trace per block;
+//!   `free` becomes a no-op — §IV-B's mechanism and §III-C's report
+//!   support, exactly as the paper describes.
+
+use crate::graph::{DepKind, GraphBuilder, ThreadMeta};
+use crate::report::AllocBlock;
+use grindcore::creq;
+use grindcore::tool::{instrument_mem_accesses, pattern_matches, BlockMeta, FnReplacement, Tool};
+use grindcore::{Tid, VmCore};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use tga::module::Module;
+use vex_ir::IrBlock;
+
+const REPL_MALLOC: u32 = 1;
+const REPL_CALLOC: u32 = 2;
+const REPL_FREE: u32 = 3;
+const REPL_FAST_ALLOC: u32 = 4;
+const REPL_FAST_FREE: u32 = 5;
+
+/// The default ignore-list: the guest runtime and libc internals
+/// (the paper's list "contains symbols prefixed with __kmp").
+pub fn default_ignore_list() -> Vec<String> {
+    [
+        "__kmp*", "__libc*", "__cilk*", "__tsan*", "__malloc*", "__fmt*", "omp_*", "_start",
+        "malloc", "free", "calloc", "memset", "memcpy", "strlen", "strcmp", "atoi", "printf",
+        "puts", "putchar", "exit", "abort", "rand", "tg_set_deferrable",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+/// Recording-phase options.
+#[derive(Clone, Debug)]
+pub struct RecordOptions {
+    /// Symbols whose accesses are never recorded.
+    pub ignore_list: Vec<String>,
+    /// If non-empty, only these symbols are recorded.
+    pub instrument_list: Vec<String>,
+    /// Replace malloc/free (recycling suppression, §IV-B). Turning this
+    /// off reproduces the naive tool of §IV for the E6 ablation.
+    pub replace_allocator: bool,
+    /// Also replace the runtime's built-in allocator
+    /// (`__kmp_fast_alloc`/`__kmp_fast_free`). The paper's Taskgrind does
+    /// NOT support built-in allocators ("kept as future work", §IV-B);
+    /// turning this off reproduces that limitation — task capture
+    /// payloads recycle and independent tasks alias payload addresses.
+    pub replace_runtime_allocator: bool,
+}
+
+impl Default for RecordOptions {
+    fn default() -> Self {
+        RecordOptions {
+            ignore_list: default_ignore_list(),
+            instrument_list: Vec::new(),
+            replace_allocator: true,
+            replace_runtime_allocator: true,
+        }
+    }
+}
+
+/// State accumulated during the recording phase.
+pub struct Recording {
+    pub builder: GraphBuilder,
+    pub blocks: Vec<AllocBlock>,
+    pub module: Option<Arc<Module>>,
+    /// Accesses recorded (after ignore-list filtering).
+    pub accesses_recorded: u64,
+    /// Superblocks skipped entirely by symbol filtering.
+    pub blocks_skipped: u64,
+    pub blocks_instrumented: u64,
+    opts: RecordOptions,
+}
+
+impl Recording {
+    /// Approximate host bytes held by recording structures.
+    pub fn heap_bytes(&self) -> u64 {
+        let seg_bytes: u64 = self.builder.segments.iter().map(|s| s.bytes()).sum();
+        let block_bytes: u64 = self
+            .blocks
+            .iter()
+            .map(|b| 32 + b.alloc_stack.len() as u64 * 8)
+            .sum();
+        seg_bytes + block_bytes
+    }
+}
+
+/// The Taskgrind grindcore plugin. Cloning shares the underlying state,
+/// so a harness keeps one handle while the VM drives the other.
+#[derive(Clone)]
+pub struct TaskgrindTool {
+    state: Rc<RefCell<Recording>>,
+}
+
+impl TaskgrindTool {
+    pub fn new(opts: RecordOptions) -> TaskgrindTool {
+        TaskgrindTool {
+            state: Rc::new(RefCell::new(Recording {
+                builder: GraphBuilder::new(),
+                blocks: Vec::new(),
+                module: None,
+                accesses_recorded: 0,
+                blocks_skipped: 0,
+                blocks_instrumented: 0,
+                opts,
+            })),
+        }
+    }
+
+    /// Shared handle to the recording state.
+    pub fn state(&self) -> Rc<RefCell<Recording>> {
+        self.state.clone()
+    }
+
+    fn should_instrument(&self, sym: Option<&str>) -> bool {
+        let st = self.state.borrow();
+        let Some(name) = sym else { return true };
+        if !st.opts.instrument_list.is_empty() {
+            return st
+                .opts
+                .instrument_list
+                .iter()
+                .any(|p| pattern_matches(p, name));
+        }
+        !st.opts.ignore_list.iter().any(|p| pattern_matches(p, name))
+    }
+}
+
+fn thread_meta(core: &VmCore, tid: Tid) -> ThreadMeta {
+    let t = &core.threads[tid];
+    ThreadMeta {
+        tid,
+        sp: t.reg(tga::reg::SP),
+        stack_low: t.stack_low,
+        stack_high: t.stack_high,
+        tls_base: t.tls_base,
+        tls_size: t.tls_size,
+        tls_gen: t.tls_gen,
+    }
+}
+
+impl Tool for TaskgrindTool {
+    fn name(&self) -> &'static str {
+        "taskgrind"
+    }
+
+    fn instrument(&mut self, block: IrBlock, meta: &BlockMeta) -> IrBlock {
+        if self.should_instrument(meta.fn_symbol.as_deref()) {
+            self.state.borrow_mut().blocks_instrumented += 1;
+            instrument_mem_accesses(block)
+        } else {
+            self.state.borrow_mut().blocks_skipped += 1;
+            block
+        }
+    }
+
+    fn mem_access(
+        &mut self,
+        core: &mut VmCore,
+        tid: Tid,
+        addr: u64,
+        size: u64,
+        write: bool,
+        _pc: u64,
+    ) {
+        let meta = thread_meta(core, tid);
+        let mut st = self.state.borrow_mut();
+        st.accesses_recorded += 1;
+        st.builder.record_access(&meta, addr, size, write);
+    }
+
+    fn client_request(&mut self, core: &mut VmCore, tid: Tid, code: u64, args: [u64; 5]) -> u64 {
+        let meta = thread_meta(core, tid);
+        let mut st = self.state.borrow_mut();
+        if st.module.is_none() {
+            st.module = Some(core.module.clone());
+        }
+        let b = &mut st.builder;
+        match code {
+            creq::PARALLEL_BEGIN => b.parallel_begin(&meta, args[0]),
+            creq::PARALLEL_END => {
+                b.parallel_end(&meta, args[0]);
+                0
+            }
+            creq::IMPLICIT_TASK_BEGIN => {
+                b.implicit_task_begin(&meta, args[0], args[1]);
+                0
+            }
+            creq::IMPLICIT_TASK_END => {
+                b.implicit_task_end(&meta, args[0], args[1]);
+                0
+            }
+            creq::TASK_CREATE => b.task_create(&meta, args[0], args[1]),
+            creq::TASK_DEP => {
+                b.task_dep(args[0], args[1], args[2], DepKind::from_u64(args[3]));
+                0
+            }
+            creq::TASK_BEGIN => {
+                b.task_begin(&meta, args[0]);
+                0
+            }
+            creq::TASK_END => {
+                b.task_end(&meta, args[0]);
+                0
+            }
+            creq::TASK_SPAWN => {
+                b.task_spawn(&meta, args[0]);
+                0
+            }
+            creq::TASK_FULFILL => {
+                b.task_fulfill(&meta, args[0]);
+                0
+            }
+            creq::TASKWAIT => {
+                b.taskwait(&meta);
+                0
+            }
+            creq::TASKGROUP_BEGIN => {
+                b.taskgroup_begin(&meta);
+                0
+            }
+            creq::TASKGROUP_END => {
+                b.taskgroup_end(&meta);
+                0
+            }
+            creq::BARRIER => {
+                b.barrier(&meta, args[0]);
+                0
+            }
+            creq::CRITICAL_ENTER => {
+                b.critical_enter(&meta, args[0]);
+                0
+            }
+            creq::CRITICAL_EXIT => {
+                b.critical_exit(&meta, args[0]);
+                0
+            }
+            creq::USER_DEFERRABLE => {
+                b.set_user_deferrable(args[0] != 0);
+                0
+            }
+            _ => 0,
+        }
+    }
+
+    fn replacements(&self) -> Vec<FnReplacement> {
+        let st = self.state.borrow();
+        let mut out = Vec::new();
+        if st.opts.replace_allocator {
+            out.push(FnReplacement { pattern: "malloc".into(), id: REPL_MALLOC });
+            out.push(FnReplacement { pattern: "calloc".into(), id: REPL_CALLOC });
+            out.push(FnReplacement { pattern: "free".into(), id: REPL_FREE });
+        }
+        if st.opts.replace_runtime_allocator {
+            out.push(FnReplacement { pattern: "__kmp_fast_alloc".into(), id: REPL_FAST_ALLOC });
+            out.push(FnReplacement { pattern: "__kmp_fast_free".into(), id: REPL_FAST_FREE });
+        }
+        out
+    }
+
+    fn replaced_call(&mut self, core: &mut VmCore, tid: Tid, id: u32, args: [u64; 8]) -> u64 {
+        match id {
+            REPL_MALLOC | REPL_CALLOC | REPL_FAST_ALLOC => {
+                let size = if id == REPL_CALLOC {
+                    args[0].wrapping_mul(args[1]).max(1)
+                } else {
+                    args[0].max(1)
+                };
+                // Never recycle: fresh addresses for every allocation.
+                let base = core.alloc_raw(size);
+                let trace = core.stack_trace(tid);
+                let mut st = self.state.borrow_mut();
+                st.blocks.push(AllocBlock { base, size, alloc_stack: trace });
+                base
+            }
+            REPL_FREE | REPL_FAST_FREE => 0, // frees are no-ops (paper §IV-B)
+            _ => 0,
+        }
+    }
+
+    fn program_end(&mut self, core: &mut VmCore) {
+        let mut st = self.state.borrow_mut();
+        if st.module.is_none() {
+            st.module = Some(core.module.clone());
+        }
+    }
+
+    fn tool_bytes(&self) -> u64 {
+        self.state.borrow().heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignore_list_defaults_cover_runtime_prefixes() {
+        let l = default_ignore_list();
+        let hit = |name: &str| l.iter().any(|p| pattern_matches(p, name));
+        assert!(hit("__kmp_task_alloc"));
+        assert!(hit("__libc_lock"));
+        assert!(hit("__cilk_sync"));
+        assert!(hit("malloc"));
+        assert!(hit("omp_get_thread_num"));
+        assert!(!hit("main"));
+        assert!(!hit("main._omp_task.1"));
+        assert!(!hit("compute_forces"));
+    }
+
+    #[test]
+    fn instrument_list_overrides_ignore_list() {
+        let tool = TaskgrindTool::new(RecordOptions {
+            instrument_list: vec!["main*".into()],
+            ..Default::default()
+        });
+        assert!(tool.should_instrument(Some("main")));
+        assert!(tool.should_instrument(Some("main._omp_task.2")));
+        assert!(!tool.should_instrument(Some("other_fn")));
+        assert!(!tool.should_instrument(Some("__kmp_barrier")));
+    }
+
+    #[test]
+    fn unknown_symbols_are_instrumented() {
+        let tool = TaskgrindTool::new(RecordOptions::default());
+        assert!(tool.should_instrument(None), "no symbol info ⇒ instrument (no false negatives)");
+    }
+}

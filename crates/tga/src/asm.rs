@@ -1,0 +1,372 @@
+//! A minimal assembler and disassembler for TGA.
+//!
+//! The assembler exists so `grindcore` can be tested without pulling in
+//! the full `minicc` compiler; the disassembler backs `tgrind --disasm`
+//! dumps and debugging output.
+//!
+//! Syntax, one instruction per line (`;` or `#` starts a comment):
+//!
+//! ```text
+//! main:                 ; label (absolute address of the next instruction)
+//!     li   a0, 42
+//!     addi sp, sp, -16
+//!     st   a0, 8(sp)
+//!     beq  a0, zero, done
+//!     jal  ra, main
+//! done:
+//!     halt
+//! ```
+
+use crate::{reg, Inst, Op, INST_SIZE};
+use std::collections::HashMap;
+
+/// Disassemble a single instruction at `addr`.
+pub fn disassemble(inst: &Inst, addr: u64) -> String {
+    let m = inst.op.mnemonic();
+    let rd = reg::name(inst.rd);
+    let rs1 = reg::name(inst.rs1);
+    let rs2 = reg::name(inst.rs2);
+    let imm = inst.imm;
+    match inst.op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::And | Op::Or | Op::Xor
+        | Op::Sll | Op::Srl | Op::Sra | Op::Slt | Op::Sltu | Op::Seq | Op::Sne | Op::Sle
+        | Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv | Op::Feq | Op::Flt | Op::Fle => {
+            format!("{addr:#08x}: {m} {rd}, {rs1}, {rs2}")
+        }
+        Op::Fsqrt | Op::Fneg | Op::Fabs | Op::Fcvtif | Op::Fcvtfi => {
+            format!("{addr:#08x}: {m} {rd}, {rs1}")
+        }
+        Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slli | Op::Srli | Op::Srai | Op::Slti => {
+            format!("{addr:#08x}: {m} {rd}, {rs1}, {imm}")
+        }
+        Op::Li => format!("{addr:#08x}: {m} {rd}, {imm}"),
+        Op::Ld | Op::Lb => format!("{addr:#08x}: {m} {rd}, {imm}({rs1})"),
+        Op::St | Op::Sb => format!("{addr:#08x}: {m} {rs2}, {imm}({rs1})"),
+        Op::Jal => format!("{addr:#08x}: {m} {rd}, {imm:#x}"),
+        Op::Jalr => format!("{addr:#08x}: {m} {rd}, {rs1}, {imm}"),
+        Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu => {
+            format!("{addr:#08x}: {m} {rs1}, {rs2}, {imm:#x}")
+        }
+        Op::Cas => format!("{addr:#08x}: {m} {rd}, ({rs1}), {rs2}"),
+        Op::Amoadd => format!("{addr:#08x}: {m} {rd}, ({rs1}), {rs2}"),
+        Op::Sys => format!("{addr:#08x}: {m} {rd}, {imm}"),
+        Op::Clreq => format!("{addr:#08x}: {m} {rd}"),
+        Op::Halt | Op::Nop => format!("{addr:#08x}: {m}"),
+    }
+}
+
+/// Disassemble a code slice starting at `base`.
+pub fn disassemble_all(code: &[Inst], base: u64) -> String {
+    code.iter()
+        .enumerate()
+        .map(|(i, inst)| disassemble(inst, base + i as u64 * INST_SIZE))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+struct PendingInst {
+    line: usize,
+    op: Op,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    imm: ImmSpec,
+}
+
+enum ImmSpec {
+    Value(i64),
+    Label(String),
+    None,
+}
+
+/// Assemble a program. Labels become absolute addresses relative to `base`.
+/// Returns the instructions and the label map.
+pub fn assemble(src: &str, base: u64) -> Result<(Vec<Inst>, HashMap<String, u64>), AsmError> {
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut pending: Vec<PendingInst> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // Leading labels, possibly several on one line.
+        while let Some(colon) = rest.find(':') {
+            let (lbl, after) = rest.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty() || lbl.contains(char::is_whitespace) {
+                break;
+            }
+            let addr = base + pending.len() as u64 * INST_SIZE;
+            if labels.insert(lbl.to_string(), addr).is_some() {
+                return Err(AsmError { line, msg: format!("duplicate label `{lbl}`") });
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        pending.push(parse_inst(rest, line)?);
+    }
+
+    let mut code = Vec::with_capacity(pending.len());
+    for p in pending {
+        let imm = match p.imm {
+            ImmSpec::Value(v) => v,
+            ImmSpec::None => 0,
+            ImmSpec::Label(l) => *labels.get(&l).ok_or_else(|| AsmError {
+                line: p.line,
+                msg: format!("undefined label `{l}`"),
+            })? as i64,
+        };
+        code.push(Inst::new(p.op, p.rd, p.rs1, p.rs2, imm));
+    }
+    Ok((code, labels))
+}
+
+fn parse_inst(text: &str, line: usize) -> Result<PendingInst, AsmError> {
+    let err = |msg: String| AsmError { line, msg };
+    let (mn, args_text) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let op = ALL_OPS
+        .iter()
+        .copied()
+        .find(|o| o.mnemonic() == mn)
+        .ok_or_else(|| err(format!("unknown mnemonic `{mn}`")))?;
+    let args: Vec<&str> = if args_text.is_empty() {
+        vec![]
+    } else {
+        args_text.split(',').map(|a| a.trim()).collect()
+    };
+
+    let parse_reg = |s: &str| -> Result<u8, AsmError> {
+        reg::parse(s).ok_or_else(|| err(format!("bad register `{s}`")))
+    };
+    let parse_imm = |s: &str| -> ImmSpec {
+        let val = if let Some(hex) = s.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16).ok()
+        } else if let Some(hex) = s.strip_prefix("-0x") {
+            i64::from_str_radix(hex, 16).ok().map(|v| -v)
+        } else {
+            s.parse::<i64>().ok()
+        };
+        match val {
+            Some(v) => ImmSpec::Value(v),
+            None => ImmSpec::Label(s.to_string()),
+        }
+    };
+    // `imm(reg)` addressing for loads/stores.
+    let parse_mem = |s: &str| -> Result<(ImmSpec, u8), AsmError> {
+        let open = s.find('(').ok_or_else(|| err(format!("expected imm(reg), got `{s}`")))?;
+        let close = s.rfind(')').ok_or_else(|| err(format!("expected imm(reg), got `{s}`")))?;
+        let immpart = s[..open].trim();
+        let regpart = s[open + 1..close].trim();
+        let imm = if immpart.is_empty() { ImmSpec::Value(0) } else { parse_imm(immpart) };
+        Ok((imm, parse_reg(regpart)?))
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("`{mn}` expects {n} operands, got {}", args.len())))
+        }
+    };
+
+    let mut p = PendingInst { line, op, rd: 0, rs1: 0, rs2: 0, imm: ImmSpec::None };
+    match op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::And | Op::Or | Op::Xor
+        | Op::Sll | Op::Srl | Op::Sra | Op::Slt | Op::Sltu | Op::Seq | Op::Sne | Op::Sle
+        | Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv | Op::Feq | Op::Flt | Op::Fle => {
+            want(3)?;
+            p.rd = parse_reg(args[0])?;
+            p.rs1 = parse_reg(args[1])?;
+            p.rs2 = parse_reg(args[2])?;
+        }
+        Op::Fsqrt | Op::Fneg | Op::Fabs | Op::Fcvtif | Op::Fcvtfi => {
+            want(2)?;
+            p.rd = parse_reg(args[0])?;
+            p.rs1 = parse_reg(args[1])?;
+        }
+        Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slli | Op::Srli | Op::Srai | Op::Slti => {
+            want(3)?;
+            p.rd = parse_reg(args[0])?;
+            p.rs1 = parse_reg(args[1])?;
+            p.imm = parse_imm(args[2]);
+        }
+        Op::Li => {
+            want(2)?;
+            p.rd = parse_reg(args[0])?;
+            p.imm = parse_imm(args[1]);
+        }
+        Op::Ld | Op::Lb => {
+            want(2)?;
+            p.rd = parse_reg(args[0])?;
+            let (imm, r) = parse_mem(args[1])?;
+            p.imm = imm;
+            p.rs1 = r;
+        }
+        Op::St | Op::Sb => {
+            want(2)?;
+            p.rs2 = parse_reg(args[0])?;
+            let (imm, r) = parse_mem(args[1])?;
+            p.imm = imm;
+            p.rs1 = r;
+        }
+        Op::Jal => {
+            want(2)?;
+            p.rd = parse_reg(args[0])?;
+            p.imm = parse_imm(args[1]);
+        }
+        Op::Jalr => {
+            want(3)?;
+            p.rd = parse_reg(args[0])?;
+            p.rs1 = parse_reg(args[1])?;
+            p.imm = parse_imm(args[2]);
+        }
+        Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu => {
+            want(3)?;
+            p.rs1 = parse_reg(args[0])?;
+            p.rs2 = parse_reg(args[1])?;
+            p.imm = parse_imm(args[2]);
+        }
+        Op::Cas | Op::Amoadd => {
+            want(3)?;
+            p.rd = parse_reg(args[0])?;
+            let addr = args[1].trim_start_matches('(').trim_end_matches(')');
+            p.rs1 = parse_reg(addr)?;
+            p.rs2 = parse_reg(args[2])?;
+        }
+        Op::Sys => {
+            want(2)?;
+            p.rd = parse_reg(args[0])?;
+            p.imm = parse_imm(args[1]);
+        }
+        Op::Clreq => {
+            want(1)?;
+            p.rd = parse_reg(args[0])?;
+        }
+        Op::Halt | Op::Nop => want(0)?,
+    }
+    Ok(p)
+}
+
+const ALL_OPS: &[Op] = &[
+    Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Rem, Op::And, Op::Or, Op::Xor, Op::Sll, Op::Srl,
+    Op::Sra, Op::Slt, Op::Sltu, Op::Seq, Op::Sne, Op::Sle, Op::Addi, Op::Andi, Op::Ori, Op::Xori,
+    Op::Slli, Op::Srli, Op::Srai, Op::Slti, Op::Li, Op::Fadd, Op::Fsub, Op::Fmul, Op::Fdiv,
+    Op::Fsqrt, Op::Fneg, Op::Fabs, Op::Feq, Op::Flt, Op::Fle, Op::Fcvtif, Op::Fcvtfi, Op::Ld,
+    Op::St, Op::Lb, Op::Sb, Op::Jal, Op::Jalr, Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu,
+    Op::Cas, Op::Amoadd, Op::Sys, Op::Clreq, Op::Halt, Op::Nop,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::CODE_BASE;
+
+    #[test]
+    fn assemble_simple_program() {
+        let src = "
+            main:
+                li   a0, 42
+                addi sp, sp, -16
+                st   a0, 8(sp)
+                ld   a1, 8(sp)
+                beq  a0, a1, done
+                nop
+            done:
+                halt
+        ";
+        let (code, labels) = assemble(src, CODE_BASE).unwrap();
+        assert_eq!(code.len(), 7);
+        assert_eq!(labels["main"], CODE_BASE);
+        assert_eq!(labels["done"], CODE_BASE + 6 * INST_SIZE);
+        assert_eq!(code[0], Inst::new(Op::Li, reg::A0, 0, 0, 42));
+        assert_eq!(code[2], Inst::new(Op::St, 0, reg::SP, reg::A0, 8));
+        assert_eq!(
+            code[4],
+            Inst::new(Op::Beq, 0, reg::A0, reg::A1, (CODE_BASE + 6 * INST_SIZE) as i64)
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let src = "
+            loop: addi t0, t0, 1
+                  blt t0, t1, loop
+                  jal ra, end
+                  nop
+            end:  halt
+        ";
+        let (code, labels) = assemble(src, 0x100).unwrap();
+        assert_eq!(code[1].imm, 0x100);
+        assert_eq!(code[2].imm, labels["end"] as i64);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = assemble("  bogus a0, a1\n", 0).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("unknown mnemonic"));
+
+        let e = assemble("\n add a0, a1\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("expects 3 operands"));
+
+        let e = assemble("jal ra, nowhere", 0).unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+
+        let e = assemble("x: nop\nx: nop", 0).unwrap_err();
+        assert!(e.msg.contains("duplicate label"));
+    }
+
+    #[test]
+    fn disassemble_roundtrips_through_assembler() {
+        let src = "
+            start:
+                li    a0, -7
+                addi  t0, a0, 12
+                st    t0, 0(sp)
+                ld    t1, 0(sp)
+                fadd  t2, t0, t1
+                cas   t3, (a1), t4
+                amoadd t5, (a1), t4
+                sys   a0, 3
+                jalr  zero, ra, 0
+                halt
+        ";
+        let (code, _) = assemble(src, 0x40).unwrap();
+        let text = disassemble_all(&code, 0x40);
+        // Every mnemonic we emitted shows up in the disassembly.
+        for mn in ["li", "addi", "st", "ld", "fadd", "cas", "amoadd", "sys", "jalr", "halt"] {
+            assert!(text.contains(mn), "missing {mn} in:\n{text}");
+        }
+        // And the operand syntax parses back.
+        let reparse: String = text
+            .lines()
+            .map(|l| l.split(": ").nth(1).unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (code2, _) = assemble(&reparse, 0x40).unwrap();
+        assert_eq!(code, code2);
+    }
+}

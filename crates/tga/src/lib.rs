@@ -1,0 +1,398 @@
+//! tga — the **T**ask**G**rind **A**rchitecture: a synthetic 64-bit guest ISA.
+//!
+//! The paper instruments x86-64 binaries under Valgrind. A Rust
+//! reproduction cannot link against Valgrind (its tool API is C-only), so
+//! this crate defines the guest architecture our DBI framework
+//! (`grindcore`) instruments instead. It is a load/store RISC machine
+//! chosen to make the *binary* aspects of the paper real:
+//!
+//! * instructions have a genuine fixed-width binary encoding
+//!   ([`Inst::encode`]/[`Inst::decode`], round-trip property-tested), so
+//!   "binary instrumentation" means decoding actual machine words;
+//! * a [`module::Module`] is an executable image: code, data, BSS, a TLS
+//!   template, a symbol table and a DWARF-like line table — everything the
+//!   ignore-lists, stack traces and error reports of Taskgrind consume;
+//! * a tiny assembler/disassembler ([`asm`]) supports tests and dumps.
+//!
+//! ## Register convention
+//!
+//! | register | alias | role |
+//! |---|---|---|
+//! | r0  | `zero` | hardwired zero |
+//! | r1  | `ra`   | return address |
+//! | r2  | `sp`   | stack pointer |
+//! | r3  | `fp`   | frame pointer |
+//! | r4  | `tp`   | thread pointer (TLS base) |
+//! | r5–r12 | `a0`–`a7` | arguments / return value in `a0` |
+//! | r13–r22 | `t0`–`t9` | caller-saved temporaries |
+//! | r23–r31 | `s1`–`s9` | callee-saved |
+
+pub mod asm;
+pub mod module;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of general-purpose guest registers.
+pub const NUM_REGS: usize = 32;
+/// Size in bytes of one encoded instruction.
+pub const INST_SIZE: u64 = 16;
+
+/// Named registers of the calling convention.
+pub mod reg {
+    pub const ZERO: u8 = 0;
+    pub const RA: u8 = 1;
+    pub const SP: u8 = 2;
+    pub const FP: u8 = 3;
+    /// Thread pointer: base of the executing thread's TLS block.
+    pub const TP: u8 = 4;
+    pub const A0: u8 = 5;
+    pub const A1: u8 = 6;
+    pub const A2: u8 = 7;
+    pub const A3: u8 = 8;
+    pub const A4: u8 = 9;
+    pub const A5: u8 = 10;
+    pub const A6: u8 = 11;
+    pub const A7: u8 = 12;
+    pub const T0: u8 = 13;
+    pub const T1: u8 = 14;
+    pub const T2: u8 = 15;
+    pub const T3: u8 = 16;
+    pub const T4: u8 = 17;
+    pub const T5: u8 = 18;
+    pub const T6: u8 = 19;
+    pub const T7: u8 = 20;
+    pub const T8: u8 = 21;
+    pub const T9: u8 = 22;
+    pub const S1: u8 = 23;
+    pub const S9: u8 = 31;
+
+    /// Human-readable register name.
+    pub fn name(r: u8) -> String {
+        match r {
+            ZERO => "zero".into(),
+            RA => "ra".into(),
+            SP => "sp".into(),
+            FP => "fp".into(),
+            TP => "tp".into(),
+            A0..=A7 => format!("a{}", r - A0),
+            T0..=T9 => format!("t{}", r - T0),
+            S1..=S9 => format!("s{}", r - S1 + 1),
+            _ => format!("r{r}"),
+        }
+    }
+
+    /// Parse a register name back to its index.
+    pub fn parse(s: &str) -> Option<u8> {
+        match s {
+            "zero" => Some(ZERO),
+            "ra" => Some(RA),
+            "sp" => Some(SP),
+            "fp" => Some(FP),
+            "tp" => Some(TP),
+            _ => {
+                let (prefix, n) = s.split_at(1);
+                let idx: u8 = n.parse().ok()?;
+                match prefix {
+                    "a" if idx <= 7 => Some(A0 + idx),
+                    "t" if idx <= 9 => Some(T0 + idx),
+                    "s" if (1..=9).contains(&idx) => Some(S1 + idx - 1),
+                    "r" if (idx as usize) < super::NUM_REGS => Some(idx),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+/// Instruction opcodes.
+///
+/// Three-register ALU ops compute `rd = rs1 op rs2`; immediate forms use
+/// `imm` as the second operand. Floating-point ops operate on f64 bit
+/// patterns held in the unified register file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Op {
+    // --- integer ALU, register form ---
+    Add = 0,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    /// Set-less-than (signed): `rd = (rs1 < rs2)`.
+    Slt,
+    /// Set-less-than unsigned.
+    Sltu,
+    /// Set-equal.
+    Seq,
+    /// Set-not-equal.
+    Sne,
+    /// Set-less-or-equal (signed).
+    Sle,
+    // --- integer ALU, immediate form ---
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Srai,
+    Slti,
+    /// Load a full 64-bit immediate: `rd = imm`.
+    Li,
+    // --- floating point (f64 bit patterns in GPRs) ---
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fsqrt,
+    Fneg,
+    Fabs,
+    /// `rd = (f64)rs1 == (f64)rs2`.
+    Feq,
+    Flt,
+    Fle,
+    /// Convert signed integer rs1 to f64.
+    Fcvtif,
+    /// Convert f64 rs1 to signed integer (truncating).
+    Fcvtfi,
+    // --- memory ---
+    /// `rd = mem64[rs1 + imm]`.
+    Ld,
+    /// `mem64[rs1 + imm] = rs2`.
+    St,
+    /// `rd = zext(mem8[rs1 + imm])`.
+    Lb,
+    /// `mem8[rs1 + imm] = low8(rs2)`.
+    Sb,
+    // --- control flow (absolute targets; relocated at link time) ---
+    /// `rd = pc + 16; pc = imm`.
+    Jal,
+    /// `rd = pc + 16; pc = rs1 + imm`.
+    Jalr,
+    /// `if rs1 == rs2 { pc = imm }`.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    // --- atomics ---
+    /// Compare-and-swap: `old = mem64[rs1]; if old == rd { mem64[rs1] = rs2 }; rd = old`.
+    Cas,
+    /// Atomic fetch-and-add: `rd = mem64[rs1]; mem64[rs1] += rs2`.
+    Amoadd,
+    // --- system ---
+    /// Syscall `imm`; args in `a0..`, result in `rd`.
+    Sys,
+    /// Client request: code in `a0`, args in `a1..a5`, result in `rd`.
+    /// This is how the guest runtime talks to the instrumentation tool.
+    Clreq,
+    /// Stop the executing thread.
+    Halt,
+    Nop,
+}
+
+impl Op {
+    const MAX: u8 = Op::Nop as u8;
+
+    /// Decode an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        if b <= Self::MAX {
+            // SAFETY: Op is repr(u8) with contiguous discriminants 0..=MAX.
+            Some(unsafe { std::mem::transmute::<u8, Op>(b) })
+        } else {
+            None
+        }
+    }
+
+    /// Mnemonic used by the assembler/disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Sll => "sll",
+            Op::Srl => "srl",
+            Op::Sra => "sra",
+            Op::Slt => "slt",
+            Op::Sltu => "sltu",
+            Op::Seq => "seq",
+            Op::Sne => "sne",
+            Op::Sle => "sle",
+            Op::Addi => "addi",
+            Op::Andi => "andi",
+            Op::Ori => "ori",
+            Op::Xori => "xori",
+            Op::Slli => "slli",
+            Op::Srli => "srli",
+            Op::Srai => "srai",
+            Op::Slti => "slti",
+            Op::Li => "li",
+            Op::Fadd => "fadd",
+            Op::Fsub => "fsub",
+            Op::Fmul => "fmul",
+            Op::Fdiv => "fdiv",
+            Op::Fsqrt => "fsqrt",
+            Op::Fneg => "fneg",
+            Op::Fabs => "fabs",
+            Op::Feq => "feq",
+            Op::Flt => "flt",
+            Op::Fle => "fle",
+            Op::Fcvtif => "fcvt.if",
+            Op::Fcvtfi => "fcvt.fi",
+            Op::Ld => "ld",
+            Op::St => "st",
+            Op::Lb => "lb",
+            Op::Sb => "sb",
+            Op::Jal => "jal",
+            Op::Jalr => "jalr",
+            Op::Beq => "beq",
+            Op::Bne => "bne",
+            Op::Blt => "blt",
+            Op::Bge => "bge",
+            Op::Bltu => "bltu",
+            Op::Cas => "cas",
+            Op::Amoadd => "amoadd",
+            Op::Sys => "sys",
+            Op::Clreq => "clreq",
+            Op::Halt => "halt",
+            Op::Nop => "nop",
+        }
+    }
+
+    /// Does this opcode end a superblock during translation?
+    pub fn ends_block(self) -> bool {
+        matches!(
+            self,
+            Op::Jal
+                | Op::Jalr
+                | Op::Beq
+                | Op::Bne
+                | Op::Blt
+                | Op::Bge
+                | Op::Bltu
+                | Op::Sys
+                | Op::Clreq
+                | Op::Halt
+        )
+    }
+}
+
+/// A decoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inst {
+    pub op: Op,
+    pub rd: u8,
+    pub rs1: u8,
+    pub rs2: u8,
+    pub imm: i64,
+}
+
+impl Inst {
+    /// Shorthand constructor.
+    pub fn new(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    /// Encode to the two little-endian 64-bit machine words.
+    pub fn encode(&self) -> [u8; 16] {
+        let word0: u64 = (self.op as u64)
+            | ((self.rd as u64) << 8)
+            | ((self.rs1 as u64) << 16)
+            | ((self.rs2 as u64) << 24);
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&word0.to_le_bytes());
+        out[8..].copy_from_slice(&(self.imm as u64).to_le_bytes());
+        out
+    }
+
+    /// Decode from machine words. Returns `None` for an invalid opcode or
+    /// out-of-range register field — the VM treats that as SIGILL.
+    pub fn decode(bytes: &[u8; 16]) -> Option<Inst> {
+        let word0 = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let op = Op::from_u8((word0 & 0xff) as u8)?;
+        let rd = ((word0 >> 8) & 0xff) as u8;
+        let rs1 = ((word0 >> 16) & 0xff) as u8;
+        let rs2 = ((word0 >> 24) & 0xff) as u8;
+        if rd as usize >= NUM_REGS || rs1 as usize >= NUM_REGS || rs2 as usize >= NUM_REGS {
+            return None;
+        }
+        let imm = u64::from_le_bytes(bytes[8..].try_into().unwrap()) as i64;
+        Some(Inst { op, rd, rs1, rs2, imm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_basic() {
+        let i = Inst::new(Op::Addi, reg::A0, reg::SP, 0, -48);
+        let enc = i.encode();
+        assert_eq!(Inst::decode(&enc), Some(i));
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let mut bytes = [0u8; 16];
+        bytes[0] = 0xff;
+        assert_eq!(Inst::decode(&bytes), None);
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        let i = Inst::new(Op::Add, 0, 0, 0, 0);
+        let mut enc = i.encode();
+        enc[1] = 40; // rd out of range
+        assert_eq!(Inst::decode(&enc), None);
+    }
+
+    #[test]
+    fn op_from_u8_covers_all_and_rejects_past_end() {
+        for b in 0..=Op::MAX {
+            let op = Op::from_u8(b).expect("valid opcode");
+            assert_eq!(op as u8, b);
+        }
+        assert_eq!(Op::from_u8(Op::MAX + 1), None);
+    }
+
+    #[test]
+    fn block_enders() {
+        assert!(Op::Jal.ends_block());
+        assert!(Op::Sys.ends_block());
+        assert!(Op::Clreq.ends_block());
+        assert!(Op::Halt.ends_block());
+        assert!(!Op::Add.ends_block());
+        assert!(!Op::Ld.ends_block());
+        assert!(!Op::Cas.ends_block());
+    }
+
+    #[test]
+    fn register_names_roundtrip() {
+        for r in 0..NUM_REGS as u8 {
+            let n = reg::name(r);
+            assert_eq!(reg::parse(&n), Some(r), "register {r} name {n}");
+        }
+        assert_eq!(reg::parse("bogus"), None);
+        assert_eq!(reg::parse("a9"), None);
+    }
+
+    #[test]
+    fn full_width_immediates_survive() {
+        for imm in [i64::MIN, -1, 0, 1, i64::MAX, 0x1234_5678_9abc_def0] {
+            let i = Inst::new(Op::Li, reg::T0, 0, 0, imm);
+            assert_eq!(Inst::decode(&i.encode()), Some(i));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Human-readable printing of IR blocks, in the spirit of
+//! `--trace-flags` output from Valgrind. Used by `grindcore --dump-ir`
+//! and in test assertions.
+
+use crate::{Atom, DirtyCall, IrBlock, JumpKind, Rhs, Stmt};
+use std::fmt::Write;
+
+fn atom(a: &Atom) -> String {
+    match a {
+        Atom::Const(c) => format!("{c:#x}"),
+        Atom::Tmp(t) => format!("t{}", t.0),
+    }
+}
+
+fn rhs(r: &Rhs) -> String {
+    match r {
+        Rhs::Atom(a) => atom(a),
+        Rhs::Get { reg } => format!("GET(r{reg})"),
+        Rhs::Load { ty, addr } => format!("LD{:?}({})", ty, atom(addr)),
+        Rhs::Binop { op, lhs, rhs } => format!("{:?}({}, {})", op, atom(lhs), atom(rhs)),
+        Rhs::Unop { op, x } => format!("{:?}({})", op, atom(x)),
+        Rhs::Ite { cond, then, els } => {
+            format!("ITE({}, {}, {})", atom(cond), atom(then), atom(els))
+        }
+    }
+}
+
+fn jump(k: &JumpKind) -> &'static str {
+    match k {
+        JumpKind::Boring => "Boring",
+        JumpKind::Call { .. } => "Call",
+        JumpKind::Ret => "Ret",
+        JumpKind::Halt => "Halt",
+    }
+}
+
+/// Render one statement on one line.
+pub fn stmt_to_string(s: &Stmt) -> String {
+    match s {
+        Stmt::IMark { addr, len } => format!("------ IMark({addr:#x}, {len}) ------"),
+        Stmt::WrTmp { dst, rhs: r } => format!("t{} = {}", dst.0, rhs(r)),
+        Stmt::Put { reg, src } => format!("PUT(r{reg}) = {}", atom(src)),
+        Stmt::Store { ty, addr, val } => {
+            format!("ST{:?}({}) = {}", ty, atom(addr), atom(val))
+        }
+        Stmt::Cas { dst, addr, expected, new } => format!(
+            "t{} = CAS({}, exp={}, new={})",
+            dst.0,
+            atom(addr),
+            atom(expected),
+            atom(new)
+        ),
+        Stmt::AtomicAdd { dst, addr, val } => {
+            format!("t{} = ATOMIC-ADD({}, {})", dst.0, atom(addr), atom(val))
+        }
+        Stmt::Dirty { call, args, dst } => {
+            let name = match call {
+                DirtyCall::Syscall => "syscall".to_string(),
+                DirtyCall::ClientRequest => "client_request".to_string(),
+                DirtyCall::ToolMem { write: true } => "tool_mem_write".to_string(),
+                DirtyCall::ToolMem { write: false } => "tool_mem_read".to_string(),
+                DirtyCall::ToolHelper { id } => format!("tool_helper#{id}"),
+            };
+            let args: Vec<String> = args.iter().map(atom).collect();
+            match dst {
+                Some(d) => format!("t{} = DIRTY {}({})", d.0, name, args.join(", ")),
+                None => format!("DIRTY {}({})", name, args.join(", ")),
+            }
+        }
+        Stmt::Exit { guard, target, kind } => format!(
+            "if ({}) goto {{{}}} {:#x}",
+            atom(guard),
+            jump(kind),
+            target
+        ),
+    }
+}
+
+/// Render a whole block.
+pub fn block_to_string(b: &IrBlock) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "IRSB @ {:#x} ({} temps) {{", b.base, b.n_temps);
+    for s in &b.stmts {
+        let _ = writeln!(out, "  {}", stmt_to_string(s));
+    }
+    let _ = writeln!(out, "  goto {{{}}} {}", jump(&b.jumpkind), atom(&b.next));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Ty};
+
+    #[test]
+    fn renders_representative_statements() {
+        let mut b = IrBlock::new(0x40);
+        let t0 = b.new_temp();
+        let t1 = b.new_temp();
+        b.stmts.push(Stmt::IMark { addr: 0x40, len: 16 });
+        b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Get { reg: 2 } });
+        b.stmts.push(Stmt::WrTmp {
+            dst: t1,
+            rhs: Rhs::Load { ty: Ty::I64, addr: t0.into() },
+        });
+        b.stmts.push(Stmt::Dirty {
+            call: DirtyCall::ToolMem { write: false },
+            args: vec![t0.into(), Atom::imm(8)],
+            dst: None,
+        });
+        b.stmts.push(Stmt::Store { ty: Ty::I64, addr: t0.into(), val: t1.into() });
+        b.next = Atom::imm(0x50);
+        let s = block_to_string(&b);
+        assert!(s.contains("IRSB @ 0x40"));
+        assert!(s.contains("t0 = GET(r2)"));
+        assert!(s.contains("t1 = LDI64(t0)"));
+        assert!(s.contains("DIRTY tool_mem_read(t0, 0x8)"));
+        assert!(s.contains("STI64(t0) = t1"));
+        assert!(s.contains("goto {Boring} 0x50"));
+    }
+
+    #[test]
+    fn renders_binop_and_exit() {
+        let mut b = IrBlock::new(0);
+        let t0 = b.new_temp();
+        b.stmts.push(Stmt::WrTmp {
+            dst: t0,
+            rhs: Rhs::Binop { op: BinOp::CmpEq, lhs: Atom::imm(1), rhs: Atom::imm(2) },
+        });
+        b.stmts.push(Stmt::Exit { guard: t0.into(), target: 0x99, kind: JumpKind::Boring });
+        let s = block_to_string(&b);
+        assert!(s.contains("t0 = CmpEq(0x1, 0x2)"));
+        assert!(s.contains("if (t0) goto {Boring} 0x99"));
+    }
+}

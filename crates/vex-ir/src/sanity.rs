@@ -1,0 +1,268 @@
+//! IR sanity checking — the analog of VEX's `sanityCheckIRSB`.
+//!
+//! Tools rewrite blocks; a buggy tool that references an undefined
+//! temporary or double-defines one would corrupt execution in ways that
+//! are very hard to debug from inside the VM. `grindcore` therefore runs
+//! [`check`] on every block a tool returns (in debug builds and on demand).
+
+use crate::{Atom, IrBlock, Rhs, Stmt, Temp};
+
+/// A structural defect found in an [`IrBlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SanityError {
+    /// A temporary was referenced before any statement defined it.
+    UseBeforeDef { stmt_index: usize, temp: Temp },
+    /// A temporary was defined more than once.
+    Redefinition { stmt_index: usize, temp: Temp },
+    /// A temporary index is out of the declared `n_temps` range.
+    TempOutOfRange { stmt_index: usize, temp: Temp },
+    /// The block's `next` atom references an undefined temporary.
+    BadNext { temp: Temp },
+    /// A dirty call's arity does not match its kind's expectations.
+    BadDirtyArity { stmt_index: usize, expected: usize, got: usize },
+}
+
+impl std::fmt::Display for SanityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SanityError::UseBeforeDef { stmt_index, temp } => {
+                write!(f, "stmt {stmt_index}: t{} used before definition", temp.0)
+            }
+            SanityError::Redefinition { stmt_index, temp } => {
+                write!(f, "stmt {stmt_index}: t{} redefined", temp.0)
+            }
+            SanityError::TempOutOfRange { stmt_index, temp } => {
+                write!(f, "stmt {stmt_index}: t{} out of range", temp.0)
+            }
+            SanityError::BadNext { temp } => {
+                write!(f, "block next references undefined t{}", temp.0)
+            }
+            SanityError::BadDirtyArity { stmt_index, expected, got } => {
+                write!(f, "stmt {stmt_index}: dirty call expects >= {expected} args, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SanityError {}
+
+struct Checker<'a> {
+    block: &'a IrBlock,
+    defined: Vec<bool>,
+    errors: Vec<SanityError>,
+}
+
+impl<'a> Checker<'a> {
+    fn use_atom(&mut self, idx: usize, a: &Atom) {
+        if let Atom::Tmp(t) = a {
+            if t.0 as usize >= self.defined.len() {
+                self.errors.push(SanityError::TempOutOfRange { stmt_index: idx, temp: *t });
+            } else if !self.defined[t.0 as usize] {
+                self.errors.push(SanityError::UseBeforeDef { stmt_index: idx, temp: *t });
+            }
+        }
+    }
+
+    fn def_temp(&mut self, idx: usize, t: Temp) {
+        if t.0 as usize >= self.defined.len() {
+            self.errors.push(SanityError::TempOutOfRange { stmt_index: idx, temp: t });
+            return;
+        }
+        if self.defined[t.0 as usize] {
+            self.errors.push(SanityError::Redefinition { stmt_index: idx, temp: t });
+        }
+        self.defined[t.0 as usize] = true;
+    }
+
+    fn run(mut self) -> Vec<SanityError> {
+        for (i, s) in self.block.stmts.iter().enumerate() {
+            match s {
+                Stmt::IMark { .. } => {}
+                Stmt::WrTmp { dst, rhs } => {
+                    match rhs {
+                        Rhs::Atom(a) => self.use_atom(i, a),
+                        Rhs::Get { .. } => {}
+                        Rhs::Load { addr, .. } => self.use_atom(i, addr),
+                        Rhs::Binop { lhs, rhs, .. } => {
+                            self.use_atom(i, lhs);
+                            self.use_atom(i, rhs);
+                        }
+                        Rhs::Unop { x, .. } => self.use_atom(i, x),
+                        Rhs::Ite { cond, then, els } => {
+                            self.use_atom(i, cond);
+                            self.use_atom(i, then);
+                            self.use_atom(i, els);
+                        }
+                    }
+                    self.def_temp(i, *dst);
+                }
+                Stmt::Put { src, .. } => self.use_atom(i, src),
+                Stmt::Store { addr, val, .. } => {
+                    self.use_atom(i, addr);
+                    self.use_atom(i, val);
+                }
+                Stmt::Cas { dst, addr, expected, new } => {
+                    self.use_atom(i, addr);
+                    self.use_atom(i, expected);
+                    self.use_atom(i, new);
+                    self.def_temp(i, *dst);
+                }
+                Stmt::AtomicAdd { dst, addr, val } => {
+                    self.use_atom(i, addr);
+                    self.use_atom(i, val);
+                    self.def_temp(i, *dst);
+                }
+                Stmt::Dirty { call, args, dst } => {
+                    let min_args = match call {
+                        crate::DirtyCall::Syscall => 1,
+                        crate::DirtyCall::ClientRequest => 1,
+                        crate::DirtyCall::ToolMem { .. } => 2,
+                        crate::DirtyCall::ToolHelper { .. } => 0,
+                    };
+                    if args.len() < min_args {
+                        self.errors.push(SanityError::BadDirtyArity {
+                            stmt_index: i,
+                            expected: min_args,
+                            got: args.len(),
+                        });
+                    }
+                    for a in args {
+                        self.use_atom(i, a);
+                    }
+                    if let Some(d) = dst {
+                        self.def_temp(i, *d);
+                    }
+                }
+                Stmt::Exit { guard, .. } => self.use_atom(i, guard),
+            }
+        }
+        if let Atom::Tmp(t) = self.block.next {
+            if t.0 as usize >= self.defined.len() || !self.defined[t.0 as usize] {
+                self.errors.push(SanityError::BadNext { temp: t });
+            }
+        }
+        self.errors
+    }
+}
+
+/// Check an IR block for structural defects. Returns all defects found.
+pub fn check(block: &IrBlock) -> Vec<SanityError> {
+    Checker {
+        block,
+        defined: vec![false; block.n_temps as usize],
+        errors: Vec::new(),
+    }
+    .run()
+}
+
+/// Panic with a readable message if the block is malformed.
+pub fn assert_sane(block: &IrBlock, context: &str) {
+    let errs = check(block);
+    if !errs.is_empty() {
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        panic!(
+            "IR sanity check failed ({context}) for block at {:#x}:\n  {}",
+            block.base,
+            msgs.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, BinOp, DirtyCall, IrBlock, JumpKind, Rhs, Stmt, Temp, Ty};
+
+    fn sample_block() -> IrBlock {
+        let mut b = IrBlock::new(0x1000);
+        let t0 = b.new_temp();
+        let t1 = b.new_temp();
+        b.stmts.push(Stmt::IMark { addr: 0x1000, len: 16 });
+        b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Get { reg: 5 } });
+        b.stmts.push(Stmt::WrTmp {
+            dst: t1,
+            rhs: Rhs::Binop { op: BinOp::Add, lhs: t0.into(), rhs: Atom::imm(1) },
+        });
+        b.stmts.push(Stmt::Put { reg: 5, src: t1.into() });
+        b.next = Atom::imm(0x1010);
+        b.jumpkind = JumpKind::Boring;
+        b
+    }
+
+    #[test]
+    fn well_formed_block_passes() {
+        assert!(check(&sample_block()).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut b = IrBlock::new(0);
+        let t0 = b.new_temp();
+        b.stmts.push(Stmt::Put { reg: 1, src: t0.into() });
+        let errs = check(&b);
+        assert_eq!(errs, vec![SanityError::UseBeforeDef { stmt_index: 0, temp: t0 }]);
+    }
+
+    #[test]
+    fn redefinition_detected() {
+        let mut b = IrBlock::new(0);
+        let t0 = b.new_temp();
+        b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Atom(Atom::imm(1)) });
+        b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Atom(Atom::imm(2)) });
+        let errs = check(&b);
+        assert_eq!(errs, vec![SanityError::Redefinition { stmt_index: 1, temp: t0 }]);
+    }
+
+    #[test]
+    fn out_of_range_temp_detected() {
+        let mut b = IrBlock::new(0);
+        b.stmts.push(Stmt::WrTmp { dst: Temp(7), rhs: Rhs::Atom(Atom::imm(1)) });
+        let errs = check(&b);
+        assert!(matches!(errs[0], SanityError::TempOutOfRange { .. }));
+    }
+
+    #[test]
+    fn bad_next_detected() {
+        let mut b = IrBlock::new(0);
+        let t0 = b.new_temp();
+        b.next = t0.into();
+        let errs = check(&b);
+        assert_eq!(errs, vec![SanityError::BadNext { temp: t0 }]);
+    }
+
+    #[test]
+    fn dirty_arity_checked() {
+        let mut b = IrBlock::new(0);
+        b.stmts.push(Stmt::Dirty {
+            call: DirtyCall::ToolMem { write: true },
+            args: vec![Atom::imm(0x10)],
+            dst: None,
+        });
+        let errs = check(&b);
+        assert!(matches!(errs[0], SanityError::BadDirtyArity { .. }));
+    }
+
+    #[test]
+    fn cas_defines_its_dst() {
+        let mut b = IrBlock::new(0);
+        let t0 = b.new_temp();
+        b.stmts.push(Stmt::Cas {
+            dst: t0,
+            addr: Atom::imm(0x100),
+            expected: Atom::imm(0),
+            new: Atom::imm(1),
+        });
+        b.stmts.push(Stmt::Put { reg: 3, src: t0.into() });
+        b.stmts.push(Stmt::Store { ty: Ty::I64, addr: Atom::imm(0x108), val: t0.into() });
+        assert!(check(&b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "IR sanity check failed")]
+    fn assert_sane_panics_on_bad_block() {
+        let mut b = IrBlock::new(0);
+        let t0 = b.new_temp();
+        b.stmts.push(Stmt::Put { reg: 1, src: t0.into() });
+        assert_sane(&b, "test");
+    }
+}

@@ -1,0 +1,10 @@
+//! Workspace umbrella crate: re-exports for examples and integration tests.
+pub use grindcore;
+pub use guest_rt;
+pub use minicc;
+pub use taskgrind;
+pub use tg_baselines;
+pub use tg_drb;
+pub use tg_lulesh;
+pub use tga;
+pub use vex_ir;

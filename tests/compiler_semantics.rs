@@ -1,0 +1,476 @@
+//! Execution-level semantics tests for the minicc compiler: every
+//! operator, control-flow construct and library routine, checked by
+//! running compiled programs on the VM (both interpreters agree per the
+//! differential suite; these pin down the *values*).
+
+use grindcore::tool::NulTool;
+use grindcore::{ExecMode, RunResult, Vm, VmConfig};
+
+fn run(src: &str) -> RunResult {
+    let m = guest_rt::build_single("sem.c", src).expect("compiles");
+    Vm::new(m, Box::new(NulTool), VmConfig::default()).run(ExecMode::Fast, &[])
+}
+
+fn exit_of(src: &str) -> i64 {
+    let r = run(src);
+    assert!(r.ok(), "{:?}", r.error);
+    r.exit_code.expect("program exits")
+}
+
+fn stdout_of(src: &str) -> String {
+    let r = run(src);
+    assert!(r.ok(), "{:?}", r.error);
+    r.stdout_str()
+}
+
+#[test]
+fn integer_arithmetic() {
+    assert_eq!(exit_of("int main(void){ return 7 + 3 * 4 - 5; }"), 14);
+    assert_eq!(exit_of("int main(void){ return (7 + 3) * 4 % 9; }"), 4);
+    assert_eq!(exit_of("int main(void){ return 100 / 7; }"), 14);
+    assert_eq!(exit_of("int main(void){ return -(-5); }"), 5);
+    assert_eq!(exit_of("int main(void){ return 1 << 6; }"), 64);
+    assert_eq!(exit_of("int main(void){ return 255 >> 4; }"), 15);
+    assert_eq!(exit_of("int main(void){ return (12 & 10) + (12 | 10) + (12 ^ 10); }"), 28);
+    assert_eq!(exit_of("int main(void){ return ~0 & 255; }"), 255);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(exit_of("int main(void){ return (3 < 5) + (5 <= 5) + (7 > 2) + (2 >= 3); }"), 3);
+    assert_eq!(exit_of("int main(void){ return (4 == 4) + (4 != 4); }"), 1);
+    assert_eq!(exit_of("int main(void){ return !0 + !7; }"), 1);
+    assert_eq!(exit_of("int main(void){ return (1 && 2) + (0 && 9) + (0 || 3) + (0 || 0); }"), 2);
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    let src = r#"
+int calls;
+int bump(void) { calls = calls + 1; return 1; }
+int main(void) {
+    int a = 0 && bump();   // bump not called
+    int b = 1 || bump();   // bump not called
+    int c = 1 && bump();   // called
+    int d = 0 || bump();   // called
+    return calls * 10 + a + b + c + d;
+}
+"#;
+    assert_eq!(exit_of(src), 23);
+}
+
+#[test]
+fn ternary_incdec_compound() {
+    assert_eq!(exit_of("int main(void){ int x = 5; return x > 3 ? 10 : 20; }"), 10);
+    assert_eq!(
+        exit_of("int main(void){ int x = 5; int a = x++; int b = ++x; return a * 100 + b * 10 + x; }"),
+        577
+    );
+    assert_eq!(
+        exit_of("int main(void){ int x = 5; int a = x--; int b = --x; return a * 100 + b * 10 + x; }"),
+        533
+    );
+    assert_eq!(exit_of("int main(void){ int x = 4; x += 3; x -= 1; x *= 2; x /= 3; return x; }"), 4);
+}
+
+#[test]
+fn control_flow() {
+    assert_eq!(
+        exit_of("int main(void){ int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }"),
+        55
+    );
+    assert_eq!(
+        exit_of("int main(void){ int s = 0; int i = 0; while (i < 5) { i++; if (i == 3) continue; s += i; } return s; }"),
+        12
+    );
+    assert_eq!(
+        exit_of("int main(void){ int s = 0; for (int i = 0; i < 100; i++) { if (i == 7) break; s += 1; } return s; }"),
+        7
+    );
+    assert_eq!(
+        exit_of("int main(void){ int n = 0; for (int i = 0; i < 3; i++) for (int j = 0; j < 4; j++) n++; return n; }"),
+        12
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    assert_eq!(
+        exit_of("int f(int a, int b, int c) { return a * 100 + b * 10 + c; } int main(void){ return f(1, 2, 3); }"),
+        123
+    );
+    assert_eq!(
+        exit_of("int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); } int main(void){ return fact(6) & 255; }"),
+        208 // 720 & 255
+    );
+    assert_eq!(
+        exit_of("int even(int n); int odd(int n) { if (n == 0) return 0; return even(n - 1); } int even(int n) { if (n == 0) return 1; return odd(n - 1); } int main(void){ return even(10) * 10 + odd(7); }"),
+        11
+    );
+}
+
+#[test]
+fn pointers_and_arrays() {
+    assert_eq!(
+        exit_of("int main(void){ int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; return a[4] + a[3]; }"),
+        25
+    );
+    assert_eq!(
+        exit_of("int main(void){ int x = 1; int *p = &x; *p = 42; return x; }"),
+        42
+    );
+    assert_eq!(
+        exit_of("int main(void){ int a[4]; a[0]=10; a[1]=20; a[2]=30; a[3]=40; int *p = a; p = p + 2; return *p + p[-1]; }"),
+        50
+    );
+    assert_eq!(
+        exit_of("int main(void){ int a[8]; int *p = &a[1]; int *q = &a[6]; return q - p; }"),
+        5
+    );
+    assert_eq!(
+        exit_of("int swap(int *a, int *b) { int t = *a; *a = *b; *b = t; return 0; } int main(void){ int x = 3; int y = 9; swap(&x, &y); return x * 10 + y; }"),
+        93
+    );
+}
+
+#[test]
+fn chars_and_strings() {
+    assert_eq!(exit_of("int main(void){ char c = 'A'; return c + 2; }"), 67);
+    assert_eq!(
+        exit_of(r#"int main(void){ char *s = "hello"; return strlen(s) * 10 + (s[1] == 'e'); }"#),
+        51
+    );
+    assert_eq!(
+        exit_of(r#"int main(void){ return strcmp("abc", "abc") == 0 ? 1 : 0; }"#),
+        1
+    );
+    assert_eq!(
+        exit_of(r#"int main(void){ return strcmp("abd", "abc") > 0 ? 1 : 0; }"#),
+        1
+    );
+    assert_eq!(exit_of(r#"int main(void){ return atoi("-321") + 421; }"#), 100);
+    assert_eq!(
+        exit_of("int main(void){ char buf[8]; memset(buf, 7, 8); return buf[0] + buf[7]; }"),
+        14
+    );
+    assert_eq!(
+        exit_of(r#"int main(void){ char d[8]; memcpy(d, "xy", 3); return d[0] == 'x' && d[1] == 'y' && d[2] == 0; }"#),
+        1
+    );
+}
+
+#[test]
+fn doubles() {
+    assert_eq!(exit_of("int main(void){ double d = 1.5 + 2.25; return (int) (d * 4.0); }"), 15);
+    assert_eq!(exit_of("int main(void){ double d = 10.0 / 4.0; return (int) (d * 2.0); }"), 5);
+    assert_eq!(exit_of("int main(void){ return (int) sqrt(144.0); }"), 12);
+    assert_eq!(exit_of("int main(void){ return (int) fabs(-7.5 * 2.0); }"), 15);
+    assert_eq!(exit_of("int main(void){ double a = 0.1; double b = 0.2; return (a + b > 0.3 - 0.001) && (a + b < 0.3 + 0.001); }"), 1);
+    // int/double mixing promotes
+    assert_eq!(exit_of("int main(void){ double d = 3; int i = 2; return (int) (d / i * 10.0); }"), 15);
+    // comparisons
+    assert_eq!(exit_of("int main(void){ double x = 2.5; return (x > 2.0) + (x < 3.0) + (x == 2.5) + (x != 2.5); }"), 3);
+}
+
+#[test]
+fn globals_and_tls() {
+    assert_eq!(
+        exit_of("int g = 40; int h; int main(void){ h = 2; return g + h; }"),
+        42
+    );
+    assert_eq!(
+        exit_of("double gd = 2.5; int main(void){ return (int)(gd * 4.0); }"),
+        10
+    );
+    assert_eq!(
+        exit_of("_Thread_local int t = 9; int main(void){ t = t + 1; return t; }"),
+        10
+    );
+    assert_eq!(
+        exit_of("int arr[10]; int main(void){ for (int i = 0; i < 10; i++) arr[i] = i; return arr[9]; }"),
+        9
+    );
+}
+
+#[test]
+fn malloc_calloc_free() {
+    assert_eq!(
+        exit_of("int main(void){ long *p = (long*) calloc(4, 8); return p[0] + p[3]; }"),
+        0
+    );
+    assert_eq!(
+        exit_of("int main(void){ int *p = (int*) malloc(64); p[7] = 13; free(p); int *q = (int*) malloc(64); return q == p; }"),
+        1
+    );
+}
+
+#[test]
+fn printf_formats() {
+    assert_eq!(stdout_of(r#"int main(void){ printf("%d|%5d|%x\n", 42, 1, 255); return 0; }"#), "42|1|ff\n");
+    assert_eq!(stdout_of(r#"int main(void){ printf("[%s][%c]", "ab", 'z'); return 0; }"#), "[ab][z]");
+    assert_eq!(stdout_of(r#"int main(void){ printf("%f", 0.5); return 0; }"#), "0.500000");
+    assert_eq!(stdout_of(r#"int main(void){ printf("%f", -12.0625); return 0; }"#), "-12.062500");
+    assert_eq!(stdout_of(r#"int main(void){ printf("%d%%\n", 9); return 0; }"#), "9%\n");
+    assert_eq!(stdout_of(r#"int main(void){ puts("line"); putchar('x'); return 0; }"#), "line\nx");
+}
+
+#[test]
+fn argv_handling() {
+    let m = guest_rt::build_single(
+        "argv.c",
+        r#"int main(int argc, char **argv) {
+            int sum = 0;
+            for (int i = 1; i < argc; i++) sum += atoi(argv[i]);
+            return sum;
+        }"#,
+    )
+    .unwrap();
+    let r = Vm::new(m, Box::new(NulTool), VmConfig::default())
+        .run(ExecMode::Fast, &["10", "20", "12"]);
+    assert_eq!(r.exit_code, Some(42));
+}
+
+#[test]
+fn sizeof_and_casts() {
+    assert_eq!(exit_of("int main(void){ return sizeof(int) + sizeof(char) + sizeof(double) + sizeof(int*); }"), 25);
+    assert_eq!(exit_of("int main(void){ double d = 9.99; return (int) d; }"), 9);
+    assert_eq!(exit_of("int main(void){ int i = 7; double d = (double) i / 2.0; return (int)(d * 10.0); }"), 35);
+    assert_eq!(exit_of("int main(void){ long x = 300; char c = x; return c & 255; }"), 44);
+}
+
+#[test]
+fn negative_division_semantics() {
+    // C truncating division
+    assert_eq!(exit_of("int main(void){ return -7 / 2 + 10; }"), 7);
+    assert_eq!(exit_of("int main(void){ return -7 % 2 + 10; }"), 9);
+    assert_eq!(exit_of("int main(void){ return 7 / -2 + 10; }"), 7);
+}
+
+#[test]
+fn shadowing_and_scopes() {
+    assert_eq!(
+        exit_of("int main(void){ int x = 1; { int x = 2; { int x = 3; } x = x + 10; } return x; }"),
+        1
+    );
+    assert_eq!(
+        exit_of("int x = 100; int main(void){ int x = 5; return x; }"),
+        5
+    );
+}
+
+#[test]
+fn atomics_builtins() {
+    assert_eq!(
+        exit_of("long v; int main(void){ __fetch_add(&v, 5); long old = __fetch_add(&v, 2); return v * 10 + old; }"),
+        75
+    );
+    assert_eq!(
+        exit_of("long v = 3; int main(void){ long a = __cas(&v, 3, 9); long b = __cas(&v, 3, 11); return v * 100 + a * 10 + b; }"),
+        939
+    );
+}
+
+#[test]
+fn division_by_zero_is_a_guest_fault() {
+    let r = run("int main(void){ int z = 0; return 5 / z; }");
+    assert!(r.error.is_some());
+    assert!(r.error.unwrap().msg.contains("division"));
+}
+
+#[test]
+fn compile_errors_are_located() {
+    let e = guest_rt::build_single("bad.c", "int main(void){ return undeclared_var; }")
+        .unwrap_err();
+    assert!(e.msg.contains("unknown variable"), "{e}");
+    assert_eq!(e.line, 1);
+
+    let e = guest_rt::build_single("bad.c", "int main(void){ nosuchfn(); return 0; }")
+        .unwrap_err();
+    assert!(e.msg.contains("unknown function"), "{e}");
+
+    let e = guest_rt::build_single("bad.c", "int main(void){ return 1 +; }").unwrap_err();
+    assert!(e.msg.contains("unexpected"), "{e}");
+
+    let e = guest_rt::build_single("bad.c", "int f(void){return 1;}").unwrap_err();
+    assert!(e.msg.contains("main"), "{e}");
+}
+
+#[test]
+fn line_info_reaches_reports() {
+    // the debug pipeline end to end: a deliberately racy line number
+    let src = "int g;\nint main(void) {\n#pragma omp parallel\n{\n#pragma omp single\n{\n#pragma omp task\ng = 1;\n#pragma omp task\ng = 2;\n}\n}\nreturn 0;\n}\n";
+    let m = guest_rt::build_single("lines.c", src).unwrap();
+    let cfg = taskgrind::TaskgrindConfig {
+        vm: VmConfig { nthreads: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let r = taskgrind::check_module(&m, &[], &cfg);
+    assert_eq!(r.n_reports(), 1);
+    let rep = &r.reports[0];
+    assert_eq!(rep.site1, "lines.c:7", "first task construct line");
+    assert_eq!(rep.site2, "lines.c:9", "second task construct line");
+}
+
+#[test]
+fn omp_locks_synchronize_and_suppress() {
+    // omp_set_lock/omp_unset_lock: execution is mutually exclusive and
+    // Taskgrind treats lock-protected conflicting accesses as ordered
+    // "by mutual exclusion" (the Helgrind-style future-work item).
+    let clean = r#"
+long lock;
+int sum;
+int main(void) {
+    omp_init_lock(&lock);
+    #pragma omp parallel num_threads(4)
+    {
+        for (int i = 0; i < 50; i++) {
+            omp_set_lock(&lock);
+            sum = sum + 1;
+            omp_unset_lock(&lock);
+        }
+    }
+    omp_destroy_lock(&lock);
+    return sum == 200;
+}
+"#;
+    let m = guest_rt::build_single("locks.c", clean).unwrap();
+    let vm = VmConfig { nthreads: 4, ..Default::default() };
+    let r = Vm::new(m.clone(), Box::new(NulTool), vm.clone()).run(ExecMode::Fast, &[]);
+    assert_eq!(r.exit_code, Some(1), "{:?}", r.error);
+
+    let cfg = taskgrind::TaskgrindConfig { vm: vm.clone(), ..Default::default() };
+    let tg = taskgrind::check_module(&m, &[], &cfg);
+    assert!(tg.run.ok(), "{:?}", tg.run.error);
+    assert_eq!(tg.n_reports(), 0, "lock-protected counter is clean: {}", tg.render_all());
+
+    // two DIFFERENT locks do not synchronize: the race must be reported
+    let racy = r#"
+long l1;
+long l2;
+int sum;
+int main(void) {
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(sum)
+            { omp_set_lock(&l1); sum = sum + 1; omp_unset_lock(&l1); }
+            #pragma omp task shared(sum)
+            { omp_set_lock(&l2); sum = sum + 1; omp_unset_lock(&l2); }
+        }
+    }
+    return sum;
+}
+"#;
+    let m = guest_rt::build_single("locks2.c", racy).unwrap();
+    let cfg = taskgrind::TaskgrindConfig { vm, ..Default::default() };
+    let tg = taskgrind::check_module(&m, &[], &cfg);
+    assert!(tg.n_reports() > 0, "different locks do not order the tasks");
+}
+
+#[test]
+fn omp_test_lock_works() {
+    let src = r#"
+long lock;
+int main(void) {
+    omp_init_lock(&lock);
+    int got = omp_test_lock(&lock);      // acquires
+    int again = omp_test_lock(&lock);    // fails: already held
+    omp_unset_lock(&lock);
+    int third = omp_test_lock(&lock);    // acquires again
+    omp_unset_lock(&lock);
+    return got * 100 + again * 10 + third;
+}
+"#;
+    assert_eq!(exit_of(src), 101);
+}
+
+#[test]
+fn detach_clause_runtime_semantics() {
+    // taskwait must not return before the detached task's event is
+    // fulfilled — the fulfiller's preceding writes are visible after it.
+    let src = r#"
+long evt;
+int x;
+int y;
+int main(void) {
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            #pragma omp task detach(evt) shared(x)
+            x = 1;
+            #pragma omp task shared(y)
+            {
+                y = 2;
+                omp_fulfill_event(evt);
+            }
+            #pragma omp taskwait
+            // both the detached body and the fulfiller completed here
+            if (x == 1 && y == 2) x = 42;
+        }
+    }
+    return x;
+}
+"#;
+    for nt in [1u64, 2] {
+        let m = guest_rt::build_single("detach.c", src).unwrap();
+        let r = Vm::new(m, Box::new(NulTool), VmConfig { nthreads: nt, ..Default::default() })
+            .run(ExecMode::Fast, &[]);
+        assert!(r.ok(), "nt={nt}: {:?} deadlock={}", r.error, r.deadlock);
+        assert_eq!(r.exit_code, Some(42), "nt={nt}");
+    }
+}
+
+#[test]
+fn detach_fulfill_is_a_happens_before_edge_for_taskgrind() {
+    // the fulfiller's write to `y` is ordered before the post-taskwait
+    // read through the TASK_FULFILL edge; Taskgrind (which supports
+    // detach, unlike TaskSanitizer — paper III-A) reports no race.
+    // The fulfiller is a *grandchild*: taskwait joins only direct
+    // children, so the post-taskwait read of y is ordered with the
+    // grandchild's write ONLY through the detached task's fulfill edge.
+    let src = r#"
+long evt;
+int y;
+int out;
+int main(void) {
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp single
+        {
+            #pragma omp task detach(evt)
+            { int local = 5; }
+            #pragma omp task
+            {
+                #pragma omp task shared(y)
+                {
+                    y = 2;                    // before the fulfill
+                    omp_fulfill_event(evt);
+                }
+            }
+            #pragma omp taskwait
+            out = y;                      // ordered via fulfill edge
+        }
+    }
+    return out;
+}
+"#;
+    let m = guest_rt::build_single("detach2.c", src).unwrap();
+    let vm = VmConfig { nthreads: 2, ..Default::default() };
+    let cfg = taskgrind::TaskgrindConfig { vm: vm.clone(), ..Default::default() };
+    let tg = taskgrind::check_module(&m, &[], &cfg);
+    assert!(tg.run.ok(), "{:?}", tg.run.error);
+    assert_eq!(tg.run.exit_code, Some(2));
+    assert_eq!(tg.n_reports(), 0, "fulfill edge orders y: {}", tg.render_all());
+
+    // TaskSanitizer has no detach support (paper): it misses the
+    // fulfill edge and reports the y conflict as a race.
+    let tsan = guest_rt::build_program_tsan(&[minicc::SourceFile::new("detach2.c", src)]).unwrap();
+    let ts = tg_baselines::tasksan::run_tasksan(&tsan, &[], &vm);
+    assert!(ts.run.ok());
+    assert!(
+        ts.found_race(),
+        "TaskSanitizer lacks detach support and should FP here"
+    );
+}
