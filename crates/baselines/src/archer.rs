@@ -368,12 +368,8 @@ impl Tool for ArcherTool {
                 0
             }
             creq::TASKWAIT => {
-                let children = st
-                    .thread(tid)
-                    .ctx
-                    .last()
-                    .map(|(_, c)| c.clone())
-                    .unwrap_or_default();
+                let children =
+                    st.thread(tid).ctx.last().map(|(_, c)| c.clone()).unwrap_or_default();
                 for ch in children {
                     if let Some(vc) = st.tasks.get(&ch).and_then(|t| t.end_vc.clone()) {
                         st.thread(tid).vc.join(&vc);
@@ -453,14 +449,7 @@ pub fn run_archer(module: &Module, args: &[&str], vm_cfg: &VmConfig) -> Baseline
         .iter()
         .map(|(a, b)| format!("WARNING: data race between {:#x} and {:#x}", a, b))
         .collect();
-    BaselineRun {
-        run,
-        n_reports: reports.len(),
-        reports,
-        segv: false,
-        time_secs,
-        tool_bytes,
-    }
+    BaselineRun { run, n_reports: reports.len(), reports, segv: false, time_secs, tool_bytes }
 }
 
 #[cfg(test)]

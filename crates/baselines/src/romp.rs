@@ -207,11 +207,7 @@ impl Tool for RompTool {
         // interval trees: charge per recorded access, which is what made
         // it reach 75 GB on LULESH -s 64 in the paper.
         let st = self.state.borrow();
-        st.builder
-            .segments
-            .iter()
-            .map(|s| (s.reads.accesses() + s.writes.accesses()) * 48)
-            .sum()
+        st.builder.segments.iter().map(|s| (s.reads.accesses() + s.writes.accesses()) * 48).sum()
     }
 }
 
@@ -246,18 +242,9 @@ pub fn run_romp(module: &Module, args: &[&str], vm_cfg: &VmConfig) -> BaselineRu
     let mut addrs: Vec<u64> = out.candidates.iter().map(|c| c.lo & !7).collect();
     addrs.sort_unstable();
     addrs.dedup();
-    let reports: Vec<String> = addrs
-        .iter()
-        .map(|a| format!("data race found:\n  addr = {a:#x}"))
-        .collect();
-    BaselineRun {
-        run,
-        n_reports: reports.len(),
-        reports,
-        segv: false,
-        time_secs,
-        tool_bytes,
-    }
+    let reports: Vec<String> =
+        addrs.iter().map(|a| format!("data race found:\n  addr = {a:#x}")).collect();
+    BaselineRun { run, n_reports: reports.len(), reports, segv: false, time_secs, tool_bytes }
 }
 
 #[cfg(test)]

@@ -129,10 +129,7 @@ impl Tool for TaskSanTool {
         let meta = thread_meta(core, tid);
         let write = matches!(id, R_WRITE8 | R_WRITE1);
         let size = if matches!(id, R_READ1 | R_WRITE1) { 1 } else { 8 };
-        self.state
-            .borrow_mut()
-            .builder
-            .record_access(&meta, args[0], size, write);
+        self.state.borrow_mut().builder.record_access(&meta, args[0], size, write);
         0
     }
 
@@ -194,13 +191,7 @@ impl Tool for TaskSanTool {
     }
 
     fn tool_bytes(&self) -> u64 {
-        self.state
-            .borrow()
-            .builder
-            .segments
-            .iter()
-            .map(|s| s.bytes())
-            .sum()
+        self.state.borrow().builder.segments.iter().map(|s| s.bytes()).sum()
     }
 }
 
@@ -242,14 +233,7 @@ pub fn run_tasksan(module: &Module, args: &[&str], vm_cfg: &VmConfig) -> Baselin
         .iter()
         .map(|(a, b)| format!("determinacy race between task {a} and task {b}"))
         .collect();
-    BaselineRun {
-        run,
-        n_reports: reports.len(),
-        reports,
-        segv: false,
-        time_secs,
-        tool_bytes,
-    }
+    BaselineRun { run, n_reports: reports.len(), reports, segv: false, time_secs, tool_bytes }
 }
 
 #[cfg(test)]

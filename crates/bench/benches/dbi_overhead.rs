@@ -52,12 +52,8 @@ fn bench_dbi(c: &mut Criterion) {
     });
     g.bench_function("dbi_countgrind", |b| {
         b.iter(|| {
-            let r = Vm::new(
-                module.clone(),
-                Box::new(CountTool::default()),
-                VmConfig::default(),
-            )
-            .run(ExecMode::Dbi, &[]);
+            let r = Vm::new(module.clone(), Box::new(CountTool::default()), VmConfig::default())
+                .run(ExecMode::Dbi, &[]);
             assert!(r.ok());
             std::hint::black_box(r.metrics.instrs)
         })

@@ -39,9 +39,7 @@ fn bench_parallel(c: &mut Criterion) {
     for threads in [2usize, 4, 8] {
         g.bench_function(format!("parallel_{threads}"), |b| {
             b.iter(|| {
-                std::hint::black_box(
-                    run_parallel(&graph, &reach, &opts, threads).candidates.len(),
-                )
+                std::hint::black_box(run_parallel(&graph, &reach, &opts, threads).candidates.len())
             })
         });
     }

@@ -23,8 +23,7 @@ fn bench_tools(c: &mut Criterion) {
     for name in PROGRAMS {
         let p = by_name(name).expect("corpus program");
         let plain = guest_rt::build_single(p.name, p.source).unwrap();
-        let tsan =
-            guest_rt::build_program_tsan(&[SourceFile::new(p.name, p.source)]).unwrap();
+        let tsan = guest_rt::build_program_tsan(&[SourceFile::new(p.name, p.source)]).unwrap();
 
         g.bench_function(format!("taskgrind/{name}"), |b| {
             b.iter(|| {

@@ -10,15 +10,8 @@ fn bench_lulesh(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_fig4");
     g.sample_size(10);
     for s in [4u64, 8] {
-        let p = LuleshParams {
-            s,
-            tel: 2,
-            tnl: 2,
-            iters: 2,
-            progress: false,
-            racy: false,
-            threads: 1,
-        };
+        let p =
+            LuleshParams { s, tel: 2, tnl: 2, iters: 2, progress: false, racy: false, threads: 1 };
         g.bench_function(format!("none/s{s}"), |b| {
             b.iter(|| std::hint::black_box(measure(ToolCfg::None, &p).instrs))
         });

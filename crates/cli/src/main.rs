@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tgrind [options] <program.c> [-- <guest args>...]
+//! tgrind lint <program.c>      static analysis only: CFG stats + findings
 //!
 //!   --tool=<taskgrind|archer|tasksan|romp|none>   (default: taskgrind)
 //!   --threads=<n>        OMP_NUM_THREADS analog    (default: 1)
@@ -9,6 +10,7 @@
 //!   --random-sched       random scheduling policy
 //!   --no-ignore-list     record runtime-internal accesses too
 //!   --keep-free          do not replace the allocator (IV-B off)
+//!   --no-static-filter   do not prune instrumentation with static facts
 //!   --no-suppress        disable all analysis-time suppression
 //!   --suppressions=<f>   Valgrind-style report suppression file
 //!   --parallel-analysis=<n>  analysis host threads (default: 1)
@@ -26,18 +28,24 @@ use tg_baselines::{archer::run_archer, romp::run_romp, tasksan::run_tasksan};
 
 fn usage() -> ! {
     eprintln!("usage: tgrind [--tool=taskgrind|archer|tasksan|romp|none] [--threads=N] [--seed=N]");
-    eprintln!("              [--random-sched] [--no-ignore-list] [--keep-free] [--no-suppress]");
-    eprintln!("              [--parallel-analysis=N] [--dot=FILE] [--disasm] <program.c> [-- args...]");
+    eprintln!(
+        "              [--random-sched] [--no-ignore-list] [--keep-free] [--no-static-filter]"
+    );
+    eprintln!("              [--no-suppress] [--parallel-analysis=N] [--dot=FILE] [--disasm]");
+    eprintln!("              <program.c> [-- args...]");
+    eprintln!("       tgrind lint <program.c>");
     std::process::exit(2)
 }
 
 struct Opts {
+    lint: bool,
     tool: String,
     threads: u64,
     seed: u64,
     random: bool,
     no_ignore: bool,
     keep_free: bool,
+    no_static_filter: bool,
     no_suppress: bool,
     analysis_threads: usize,
     suppressions: Option<String>,
@@ -49,12 +57,14 @@ struct Opts {
 
 fn parse_args() -> Opts {
     let mut o = Opts {
+        lint: false,
         tool: "taskgrind".into(),
         threads: 1,
         seed: 42,
         random: false,
         no_ignore: false,
         keep_free: false,
+        no_static_filter: false,
         no_suppress: false,
         analysis_threads: 1,
         suppressions: None,
@@ -80,6 +90,8 @@ fn parse_args() -> Opts {
             o.no_ignore = true;
         } else if a == "--keep-free" {
             o.keep_free = true;
+        } else if a == "--no-static-filter" {
+            o.no_static_filter = true;
         } else if a == "--no-suppress" {
             o.no_suppress = true;
         } else if let Some(v) = a.strip_prefix("--parallel-analysis=") {
@@ -93,6 +105,8 @@ fn parse_args() -> Opts {
         } else if a.starts_with("--") {
             eprintln!("unknown option {a}");
             usage();
+        } else if a == "lint" && !o.lint && o.program.is_empty() {
+            o.lint = true;
         } else if o.program.is_empty() {
             o.program = a;
         } else {
@@ -142,6 +156,13 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if o.lint {
+        let m = build(false);
+        let facts = tga_analysis::analyze(&m);
+        print!("{}", facts.render());
+        return ExitCode::from(if facts.findings.is_empty() { 0 } else { 1 });
+    }
+
     match o.tool.as_str() {
         "none" => {
             let m = build(false);
@@ -181,10 +202,7 @@ fn main() -> ExitCode {
             for rep in &r.reports {
                 eprintln!("{rep}");
             }
-            eprintln!(
-                "== romp: {} report(s), segv={} in {:.3}s",
-                r.n_reports, r.segv, r.time_secs
-            );
+            eprintln!("== romp: {} report(s), segv={} in {:.3}s", r.n_reports, r.segv, r.time_secs);
             ExitCode::from(if r.n_reports > 0 || r.segv { 1 } else { 0 })
         }
         "taskgrind" => {
@@ -198,6 +216,7 @@ fn main() -> ExitCode {
                         taskgrind::tool::default_ignore_list()
                     },
                     replace_allocator: !o.keep_free,
+                    static_filter: !o.no_static_filter,
                     ..Default::default()
                 },
                 suppress: if o.no_suppress {
@@ -236,6 +255,13 @@ fn main() -> ExitCode {
                 r.analysis_secs,
                 r.graph.n_nodes(),
                 r.run.metrics.instrs,
+            );
+            eprintln!(
+                "== static filter: {} | {} site(s) pruned, {} instrumented, {} access(es) recorded",
+                if o.no_static_filter { "off" } else { "on" },
+                r.sites_pruned,
+                r.sites_instrumented,
+                r.accesses_recorded,
             );
             if r.run.deadlock {
                 eprintln!("== guest deadlocked");

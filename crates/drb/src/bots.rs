@@ -279,11 +279,7 @@ mod tests {
             // nqueens/fib conflicts live in reused stack frames of
             // sibling subtrees (the paper's residual stack FP) — require
             // zero *heap/global* reports, the meaningful surface here.
-            let real: Vec<_> = r
-                .reports
-                .iter()
-                .filter(|rep| rep.region != "stack")
-                .collect();
+            let real: Vec<_> = r.reports.iter().filter(|rep| rep.region != "stack").collect();
             assert!(real.is_empty(), "{}: {:#?}", p.name, real);
         }
     }

@@ -1039,15 +1039,9 @@ mod tests {
     #[test]
     fn ground_truth_counts_match_table1() {
         let c = corpus();
-        let drb_racy = c
-            .iter()
-            .filter(|p| p.suite == Suite::Drb && p.racy)
-            .count();
+        let drb_racy = c.iter().filter(|p| p.suite == Suite::Drb && p.racy).count();
         assert_eq!(drb_racy, 12, "12 racy DRB rows in Table I");
-        let tmb_racy = c
-            .iter()
-            .filter(|p| p.suite == Suite::Tmb && p.racy)
-            .count();
+        let tmb_racy = c.iter().filter(|p| p.suite == Suite::Tmb && p.racy).count();
         assert_eq!(tmb_racy, 2, "stack_1 and stack_4");
     }
 }

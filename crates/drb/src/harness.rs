@@ -17,12 +17,8 @@ pub enum ToolId {
     Taskgrind,
 }
 
-pub const ALL_TOOLS: [ToolId; 4] = [
-    ToolId::TaskSanitizer,
-    ToolId::Archer,
-    ToolId::Romp,
-    ToolId::Taskgrind,
-];
+pub const ALL_TOOLS: [ToolId; 4] =
+    [ToolId::TaskSanitizer, ToolId::Archer, ToolId::Romp, ToolId::Taskgrind];
 
 impl ToolId {
     pub fn name(&self) -> &'static str {
@@ -189,11 +185,9 @@ pub fn render(rows: &[Table1Row]) -> String {
     let _ = writeln!(out, "{}", "-".repeat(108));
     for (i, tool) in ALL_TOOLS.iter().enumerate() {
         let fns = rows.iter().filter(|r| r.verdicts[i].is_fn()).count();
-        let fps = rows
-            .iter()
-            .filter(|r| r.verdicts[i] == Verdict::FalsePositive)
-            .count();
-        let _ = writeln!(out, "{:>14}: {} false negatives, {} false positives", tool.name(), fns, fps);
+        let fps = rows.iter().filter(|r| r.verdicts[i] == Verdict::FalsePositive).count();
+        let _ =
+            writeln!(out, "{:>14}: {} false negatives, {} false positives", tool.name(), fns, fps);
     }
     out
 }

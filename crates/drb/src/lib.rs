@@ -13,7 +13,7 @@ pub mod extra;
 pub mod harness;
 pub mod paper;
 
-pub use corpus::{by_name, corpus, BenchProgram, Suite};
 pub use bots::bots_corpus;
+pub use corpus::{by_name, corpus, BenchProgram, Suite};
 pub use extra::extra_corpus;
 pub use harness::{agreement, evaluate, render, table1, Table1Row, ToolId, ALL_TOOLS};

@@ -325,7 +325,9 @@ mod tests {
     fn call_and_ret_jumpkinds() {
         let m = module_from("jal ra, 0x10000\n");
         let b = lift_superblock(&m, CODE_BASE).unwrap();
-        assert!(matches!(b.jumpkind, JumpKind::Call { return_addr } if return_addr == CODE_BASE + 16));
+        assert!(
+            matches!(b.jumpkind, JumpKind::Call { return_addr } if return_addr == CODE_BASE + 16)
+        );
 
         let m = module_from("jalr zero, ra, 0\n");
         let b = lift_superblock(&m, CODE_BASE).unwrap();
@@ -342,10 +344,7 @@ mod tests {
         let b = lift_superblock(&m, CODE_BASE).unwrap();
         sanity::assert_sane(&b, "lifted");
         // No Put to register 0 is ever emitted.
-        assert!(!b
-            .stmts
-            .iter()
-            .any(|s| matches!(s, Stmt::Put { reg: 0, .. })));
+        assert!(!b.stmts.iter().any(|s| matches!(s, Stmt::Put { reg: 0, .. })));
         assert!(matches!(b.jumpkind, JumpKind::Halt));
     }
 
@@ -379,10 +378,7 @@ mod tests {
         let m = module_from(&src);
         let b = lift_superblock(&m, CODE_BASE).unwrap();
         assert_eq!(b.guest_instrs(), MAX_BLOCK_INSTS);
-        assert_eq!(
-            b.next,
-            Atom::imm(CODE_BASE + (MAX_BLOCK_INSTS as u64) * INST_SIZE)
-        );
+        assert_eq!(b.next, Atom::imm(CODE_BASE + (MAX_BLOCK_INSTS as u64) * INST_SIZE));
     }
 
     #[test]

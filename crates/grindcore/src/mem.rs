@@ -31,9 +31,7 @@ impl GuestMemory {
     }
 
     fn page_mut(&mut self, pno: u64) -> &mut [u8] {
-        self.pages
-            .entry(pno)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        self.pages.entry(pno).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Read `dst.len()` bytes from `addr`, crossing pages as needed.

@@ -47,11 +47,9 @@ pub fn optimize(mut block: IrBlock) -> IrBlock {
                     Rhs::Atom(a) => Rhs::Atom(resolve(&a, &subst)),
                     Rhs::Get { reg } => Rhs::Get { reg },
                     Rhs::Load { ty, addr } => Rhs::Load { ty, addr: resolve(&addr, &subst) },
-                    Rhs::Binop { op, lhs, rhs } => Rhs::Binop {
-                        op,
-                        lhs: resolve(&lhs, &subst),
-                        rhs: resolve(&rhs, &subst),
-                    },
+                    Rhs::Binop { op, lhs, rhs } => {
+                        Rhs::Binop { op, lhs: resolve(&lhs, &subst), rhs: resolve(&rhs, &subst) }
+                    }
                     Rhs::Unop { op, x } => Rhs::Unop { op, x: resolve(&x, &subst) },
                     Rhs::Ite { cond, then, els } => Rhs::Ite {
                         cond: resolve(&cond, &subst),
@@ -153,10 +151,12 @@ mod tests {
     #[test]
     fn redundant_gets_are_forwarded() {
         // five instructions all reading sp: one Get survives
-        let b = lift("addi t0, sp, -8\n addi t1, sp, -16\n addi t2, sp, -24\n add t3, sp, t0\n halt");
+        let b =
+            lift("addi t0, sp, -8\n addi t1, sp, -16\n addi t2, sp, -24\n add t3, sp, t0\n halt");
         let o = optimize(b.clone());
         sanity::assert_sane(&o, "optimized");
-        let gets = |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Get { .. }, .. }));
+        let gets =
+            |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Get { .. }, .. }));
         assert!(gets(&b) >= 5);
         assert_eq!(gets(&o), 1, "{}", vex_ir::pretty::block_to_string(&o));
     }
@@ -167,16 +167,10 @@ mod tests {
         let o = optimize(b);
         sanity::assert_sane(&o, "optimized");
         // the final Put of t2 must receive the folded 42
-        let put42 = o
-            .stmts
-            .iter()
-            .any(|s| matches!(s, Stmt::Put { src: Atom::Const(42), .. }));
+        let put42 = o.stmts.iter().any(|s| matches!(s, Stmt::Put { src: Atom::Const(42), .. }));
         assert!(put42, "{}", vex_ir::pretty::block_to_string(&o));
         // no Binop statements survive
-        assert_eq!(
-            count_kind(&o, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Binop { .. }, .. })),
-            0
-        );
+        assert_eq!(count_kind(&o, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Binop { .. }, .. })), 0);
     }
 
     #[test]
@@ -199,10 +193,12 @@ mod tests {
 
     #[test]
     fn memory_operations_untouched() {
-        let b = lift("ld t0, 8(sp)\n st t0, 16(sp)\n cas t1, (a0), t2\n amoadd t3, (a0), t2\n halt");
+        let b =
+            lift("ld t0, 8(sp)\n st t0, 16(sp)\n cas t1, (a0), t2\n amoadd t3, (a0), t2\n halt");
         let o = optimize(b.clone());
         sanity::assert_sane(&o, "optimized");
-        let loads = |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Load { .. }, .. }));
+        let loads =
+            |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::WrTmp { rhs: Rhs::Load { .. }, .. }));
         let stores = |b: &IrBlock| count_kind(b, |s| matches!(s, Stmt::Store { .. }));
         assert_eq!(loads(&b), loads(&o));
         assert_eq!(stores(&b), stores(&o));
@@ -219,10 +215,7 @@ mod tests {
         let b = lift("li t0, 4\n li t1, 4\n beq t0, t1, 0x9990\n nop");
         let o = optimize(b);
         // guard folded to constant 1: exit survives (always taken)
-        assert!(o
-            .stmts
-            .iter()
-            .any(|s| matches!(s, Stmt::Exit { guard: Atom::Const(1), .. })));
+        assert!(o.stmts.iter().any(|s| matches!(s, Stmt::Exit { guard: Atom::Const(1), .. })));
     }
 
     #[test]
@@ -237,9 +230,6 @@ mod tests {
             "{}",
             vex_ir::pretty::block_to_string(&o)
         );
-        assert!(o
-            .stmts
-            .iter()
-            .any(|s| matches!(s, Stmt::Put { src: Atom::Const(18), .. })));
+        assert!(o.stmts.iter().any(|s| matches!(s, Stmt::Put { src: Atom::Const(18), .. })));
     }
 }

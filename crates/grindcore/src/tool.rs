@@ -164,19 +164,38 @@ impl Tool for CountTool {
 /// Because the IR is flat, the address operand of each access is always
 /// an atom already defined earlier in the block, so insertion is purely
 /// positional.
-pub fn instrument_mem_accesses(mut block: IrBlock) -> IrBlock {
+pub fn instrument_mem_accesses(block: IrBlock) -> IrBlock {
+    instrument_mem_accesses_filtered(block, &mut |_, _| true)
+}
+
+/// Like [`instrument_mem_accesses`], but consults `keep(pc, write)`
+/// before inserting each callback, where `pc` is the guest address of
+/// the enclosing instruction (from the preceding `IMark`). Accesses for
+/// which `keep` returns `false` execute uninstrumented. Atomics are
+/// always instrumented regardless of the filter: they are
+/// synchronization by definition, so no static analysis may prune them.
+pub fn instrument_mem_accesses_filtered(
+    mut block: IrBlock,
+    keep: &mut dyn FnMut(u64, bool) -> bool,
+) -> IrBlock {
     let mut out: Vec<Stmt> = Vec::with_capacity(block.stmts.len() * 2);
+    let mut pc = block.base;
     for s in block.stmts.drain(..) {
         match &s {
-            Stmt::WrTmp {
-                rhs: Rhs::Load { ty, addr },
-                ..
-            } => {
-                out.push(mem_cb(false, *addr, ty.size()));
+            Stmt::IMark { addr, .. } => {
+                pc = *addr;
+                out.push(s);
+            }
+            Stmt::WrTmp { rhs: Rhs::Load { ty, addr }, .. } => {
+                if keep(pc, false) {
+                    out.push(mem_cb(false, *addr, ty.size()));
+                }
                 out.push(s);
             }
             Stmt::Store { ty, addr, .. } => {
-                out.push(mem_cb(true, *addr, ty.size()));
+                if keep(pc, true) {
+                    out.push(mem_cb(true, *addr, ty.size()));
+                }
                 out.push(s);
             }
             Stmt::Cas { addr, .. } | Stmt::AtomicAdd { addr, .. } => {
@@ -192,11 +211,7 @@ pub fn instrument_mem_accesses(mut block: IrBlock) -> IrBlock {
 }
 
 fn mem_cb(write: bool, addr: Atom, size: u64) -> Stmt {
-    Stmt::Dirty {
-        call: DirtyCall::ToolMem { write },
-        args: vec![addr, Atom::imm(size)],
-        dst: None,
-    }
+    Stmt::Dirty { call: DirtyCall::ToolMem { write }, args: vec![addr, Atom::imm(size)], dst: None }
 }
 
 #[cfg(test)]
@@ -211,10 +226,7 @@ mod tests {
         let t2 = b.new_temp();
         b.stmts.push(Stmt::IMark { addr: 0x1000, len: 16 });
         b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Get { reg: 2 } });
-        b.stmts.push(Stmt::WrTmp {
-            dst: t1,
-            rhs: Rhs::Load { ty: Ty::I64, addr: t0.into() },
-        });
+        b.stmts.push(Stmt::WrTmp { dst: t1, rhs: Rhs::Load { ty: Ty::I64, addr: t0.into() } });
         b.stmts.push(Stmt::WrTmp {
             dst: t2,
             rhs: Rhs::Binop { op: BinOp::Add, lhs: t1.into(), rhs: Atom::imm(1) },
@@ -244,7 +256,9 @@ mod tests {
         let pos_cb = b
             .stmts
             .iter()
-            .position(|s| matches!(s, Stmt::Dirty { call: DirtyCall::ToolMem { write: false }, .. }))
+            .position(|s| {
+                matches!(s, Stmt::Dirty { call: DirtyCall::ToolMem { write: false }, .. })
+            })
             .unwrap();
         let pos_load = b
             .stmts
@@ -272,6 +286,39 @@ mod tests {
             .filter(|s| matches!(s, Stmt::Dirty { call: DirtyCall::ToolMem { .. }, .. }))
             .count();
         assert_eq!(n_cbs, 2);
+    }
+
+    #[test]
+    fn filtered_instrumentation_skips_pruned_pcs_but_not_atomics() {
+        let mut b = block_with_accesses();
+        // Give the store its own instruction, plus a trailing atomic.
+        b.stmts.push(Stmt::IMark { addr: 0x1010, len: 16 });
+        let t_cas = b.new_temp();
+        b.stmts.push(Stmt::Cas {
+            dst: t_cas,
+            addr: Atom::imm(0x2000),
+            expected: Atom::imm(0),
+            new: Atom::imm(1),
+        });
+        let mut asked = Vec::new();
+        let b = instrument_mem_accesses_filtered(b, &mut |pc, write| {
+            asked.push((pc, write));
+            false // prune everything prunable
+        });
+        sanity::assert_sane(&b, "filtered");
+        // Load and store callbacks are gone; the atomic keeps both.
+        let kinds: Vec<bool> = b
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Dirty { call: DirtyCall::ToolMem { write }, .. } => Some(*write),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![false, true]);
+        // The filter saw the load and store at their IMark pc, and was
+        // never consulted for the atomic.
+        assert_eq!(asked, vec![(0x1000, false), (0x1000, true)]);
     }
 
     #[test]

@@ -417,11 +417,7 @@ impl Vm {
             let Some(tid) = self.pick_next(current) else {
                 // No runnable thread: either everything exited, or the
                 // remaining threads are blocked → deadlock.
-                deadlock = self
-                    .core
-                    .threads
-                    .iter()
-                    .any(|t| t.status != ThreadStatus::Exited);
+                deadlock = self.core.threads.iter().any(|t| t.status != ThreadStatus::Exited);
                 break;
             };
             current = tid;
@@ -489,9 +485,8 @@ impl Vm {
 
     fn pick_next(&mut self, current: Tid) -> Option<Tid> {
         let n = self.core.threads.len();
-        let runnable: Vec<Tid> = (0..n)
-            .filter(|&t| self.core.threads[t].status == ThreadStatus::Runnable)
-            .collect();
+        let runnable: Vec<Tid> =
+            (0..n).filter(|&t| self.core.threads[t].status == ThreadStatus::Runnable).collect();
         if runnable.is_empty() {
             return None;
         }
@@ -536,11 +531,7 @@ impl Vm {
             pc,
             msg: e.to_string(),
         })?;
-        let block = if self.core.config.optimize_ir {
-            crate::opt::optimize(block)
-        } else {
-            block
-        };
+        let block = if self.core.config.optimize_ir { crate::opt::optimize(block) } else { block };
         let meta = BlockMeta {
             base: pc,
             fn_symbol: self.core.module.find_func(pc).map(|s| s.name.clone()),
@@ -882,13 +873,7 @@ impl Vm {
         Ok(())
     }
 
-    fn do_syscall(
-        &mut self,
-        tid: Tid,
-        num: i64,
-        args: [u64; 6],
-        pc: u64,
-    ) -> Result<u64, VmError> {
+    fn do_syscall(&mut self, tid: Tid, num: i64, args: [u64; 6], pc: u64) -> Result<u64, VmError> {
         self.core.metrics.syscalls += 1;
         match num {
             syscalls::EXIT => {
@@ -990,10 +975,9 @@ mod tests {
 
     fn run_both(src: &str, args: &[&str]) -> (RunResult, RunResult) {
         let m = build(src);
-        let fast = Vm::new(m.clone(), Box::new(NulTool), VmConfig::default())
-            .run(ExecMode::Fast, args);
-        let dbi =
-            Vm::new(m, Box::new(NulTool), VmConfig::default()).run(ExecMode::Dbi, args);
+        let fast =
+            Vm::new(m.clone(), Box::new(NulTool), VmConfig::default()).run(ExecMode::Fast, args);
+        let dbi = Vm::new(m, Box::new(NulTool), VmConfig::default()).run(ExecMode::Dbi, args);
         (fast, dbi)
     }
 
@@ -1262,11 +1246,9 @@ mod tests {
         ";
         let m = build(src);
         let run = |seed| {
-            let cfg = VmConfig { seed, sched: SchedPolicy::Random, quantum: 4, ..Default::default() };
-            Vm::new(m.clone(), Box::new(NulTool), cfg)
-                .run(ExecMode::Fast, &[])
-                .metrics
-                .switches
+            let cfg =
+                VmConfig { seed, sched: SchedPolicy::Random, quantum: 4, ..Default::default() };
+            Vm::new(m.clone(), Box::new(NulTool), cfg).run(ExecMode::Fast, &[]).metrics.switches
         };
         assert_eq!(run(1), run(1), "same seed, same schedule");
     }

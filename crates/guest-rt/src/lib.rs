@@ -88,11 +88,7 @@ mod tests {
 
     #[test]
     fn negative_and_zero_formatting() {
-        let r = run(
-            r#"int main(void) { printf("%d %d %f\n", -17, 0, -2.25); return 0; }"#,
-            1,
-            &[],
-        );
+        let r = run(r#"int main(void) { printf("%d %d %f\n", -17, 0, -2.25); return 0; }"#, 1, &[]);
         assert_eq!(r.stdout_str(), "-17 0 -2.250000\n");
     }
 

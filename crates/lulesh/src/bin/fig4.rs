@@ -45,6 +45,8 @@ fn main() {
             );
         }
     }
-    eprintln!("expected shape: O(s^3) growth for every curve; taskgrind >> archer >> none in time;");
+    eprintln!(
+        "expected shape: O(s^3) growth for every curve; taskgrind >> archer >> none in time;"
+    );
     eprintln!("taskgrind > archer > none in memory; ROMP (if enabled) grows far faster in memory.");
 }

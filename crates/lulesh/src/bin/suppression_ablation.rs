@@ -11,15 +11,8 @@ use tg_lulesh::harness::{measure_taskgrind_suppression, LuleshParams};
 
 fn main() {
     // the paper's naive-run configuration
-    let params = LuleshParams {
-        s: 4,
-        tel: 2,
-        tnl: 2,
-        iters: 2,
-        progress: false,
-        racy: false,
-        threads: 1,
-    };
+    let params =
+        LuleshParams { s: 4, tel: 2, tnl: 2, iters: 2, progress: false, racy: false, threads: 1 };
     let all_on = SuppressOptions::default();
     let all_off = SuppressOptions { tls: false, stack: false, locks: false, mutexinoutset: false };
 
@@ -28,7 +21,10 @@ fn main() {
     println!("{}", "-".repeat(86));
 
     let naive = measure_taskgrind_suppression(&params, Vec::new(), false, all_off);
-    println!("{:<58} {:>12} {:>12}", "naive (no ignore-list, allocator kept, no suppression)", naive.1, naive.0);
+    println!(
+        "{:<58} {:>12} {:>12}",
+        "naive (no ignore-list, allocator kept, no suppression)", naive.1, naive.0
+    );
 
     let ign = measure_taskgrind_suppression(&params, default_ignore_list(), false, all_off);
     println!("{:<58} {:>12} {:>12}", "+ ignore-list (IV-A)", ign.1, ign.0);
@@ -45,7 +41,10 @@ fn main() {
     println!("{:<58} {:>12} {:>12}", "+ TLS suppression (IV-C)", tls.1, tls.0);
 
     let full = measure_taskgrind_suppression(&params, default_ignore_list(), true, all_on);
-    println!("{:<58} {:>12} {:>12}", "+ stack/lock suppression (IV-D): full Taskgrind", full.1, full.0);
+    println!(
+        "{:<58} {:>12} {:>12}",
+        "+ stack/lock suppression (IV-D): full Taskgrind", full.1, full.0
+    );
 
     println!("{}", "-".repeat(86));
     println!(

@@ -31,8 +31,16 @@ fn main() {
     println!("Table II — LULESH -s {s} -tel 4 -tnl 4 -p -i 4 (emulated substrate)");
     println!(
         "{:<5} {:>3} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12} | {:>8} {:>9}",
-        "racy", "nt", "t none (s)", "t archer", "t taskgrind", "mem none", "archer",
-        "taskgrind", "archer#", "tg#"
+        "racy",
+        "nt",
+        "t none (s)",
+        "t archer",
+        "t taskgrind",
+        "mem none",
+        "archer",
+        "taskgrind",
+        "archer#",
+        "tg#"
     );
     println!("{}", "-".repeat(122));
     for racy in [false, true] {
@@ -40,11 +48,7 @@ fn main() {
             let params = LuleshParams { s, racy, threads: nt, ..Default::default() };
             let none = measure(ToolCfg::None, &params);
             let (alo, ahi, archer) = measure_archer_range(&params, &[42, 1, 2, 3]);
-            let archer_reports = if alo == ahi {
-                alo.to_string()
-            } else {
-                format!("{alo}-{ahi}")
-            };
+            let archer_reports = if alo == ahi { alo.to_string() } else { format!("{alo}-{ahi}") };
             let (tg_time, tg_mem, tg_rep) = if emulate_deadlock && nt > 1 {
                 ("deadlock".into(), "deadlock".into(), "deadlock".to_string())
             } else {

@@ -111,8 +111,8 @@ pub fn measure(tool: ToolCfg, params: &LuleshParams) -> Measurement {
         ToolCfg::None => {
             let m = guest_rt::build_single("lulesh.c", LULESH_MC).expect("compiles");
             let t0 = Instant::now();
-            let r = Vm::new(m, Box::new(NulTool), vm_cfg(params.threads))
-                .run(ExecMode::Fast, &args);
+            let r =
+                Vm::new(m, Box::new(NulTool), vm_cfg(params.threads)).run(ExecMode::Fast, &args);
             Measurement {
                 tool,
                 params: *params,

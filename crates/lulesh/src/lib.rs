@@ -255,10 +255,7 @@ mod tests {
         let m16 = run_plain(&["-s", "16", "-i", "1"], 1).metrics.guest_footprint as f64;
         let d1 = m8 - m4;
         let d2 = m16 - m8;
-        assert!(
-            d2 > 4.0 * d1.max(1.0),
-            "growth must be ~cubic: d(4→8)={d1} d(8→16)={d2}"
-        );
+        assert!(d2 > 4.0 * d1.max(1.0), "growth must be ~cubic: d(4→8)={d1} d(8→16)={d2}");
     }
 
     #[test]

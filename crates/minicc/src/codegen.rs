@@ -30,14 +30,29 @@ type GResult<T> = Result<T, GenError>;
 #[derive(Clone, Debug)]
 pub enum Binding {
     /// At `fp - offset`.
-    Local { offset: i64, ty: Type },
+    Local {
+        offset: i64,
+        ty: Type,
+    },
     /// `ctx[slot]` holds the variable's *address* (shared capture).
-    CapturedRef { slot: usize, ty: Type },
+    CapturedRef {
+        slot: usize,
+        ty: Type,
+    },
     /// `ctx[slot]` holds the variable's *value* (firstprivate capture);
     /// the payload slot itself is the private copy's storage.
-    CapturedVal { slot: usize, ty: Type },
-    Global { off: u64, ty: Type },
-    Tls { off: u64, ty: Type },
+    CapturedVal {
+        slot: usize,
+        ty: Type,
+    },
+    Global {
+        off: u64,
+        ty: Type,
+    },
+    Tls {
+        off: u64,
+        ty: Type,
+    },
 }
 
 impl Binding {
@@ -130,7 +145,10 @@ impl<'c> FnGen<'c> {
 
         // Parameters: copy a0..aN into local slots.
         if params.len() > 8 {
-            return Err(GenError { line, msg: format!("function `{name}` has more than 8 parameters") });
+            return Err(GenError {
+                line,
+                msg: format!("function `{name}` has more than 8 parameters"),
+            });
         }
         for (i, p) in params.iter().enumerate() {
             let off = g.alloc_local(&p.ty);
@@ -320,10 +338,7 @@ impl<'c> FnGen<'c> {
                 Ok(Type::Ptr(Box::new(Type::Char)))
             }
             Expr::Var(name, line) => {
-                let Some(b) = self
-                    .lookup(name)
-                    .cloned()
-                    .or_else(|| self.cc.global_binding(name))
+                let Some(b) = self.lookup(name).cloned().or_else(|| self.cc.global_binding(name))
                 else {
                     // A bare function name evaluates to its address
                     // (used to pass outlined bodies to the runtime).
@@ -415,7 +430,7 @@ impl<'c> FnGen<'c> {
                 self.emit(Inst::new(Op::Addi, T0, T0, 0, delta));
                 self.pop(T2); // old
                 self.pop(T1); // addr
-                // store new (T0)
+                              // store new (T0)
                 self.push(T2);
                 self.emit_store(&ty, hook);
                 self.pop(T2);
@@ -556,7 +571,8 @@ impl<'c> FnGen<'c> {
             if negate {
                 self.emit(Inst::new(Op::Seq, T0, T0, reg::ZERO, 0));
             }
-            let cmp = matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge);
+            let cmp =
+                matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge);
             return Ok(if cmp { Type::Int } else { Type::Double });
         }
 
@@ -618,10 +634,7 @@ impl<'c> FnGen<'c> {
     pub fn gen_lvalue(&mut self, e: &Expr) -> GResult<Type> {
         match e {
             Expr::Var(name, line) => {
-                let Some(b) = self
-                    .lookup(name)
-                    .cloned()
-                    .or_else(|| self.cc.global_binding(name))
+                let Some(b) = self.lookup(name).cloned().or_else(|| self.cc.global_binding(name))
                 else {
                     // A bare function name evaluates to its address
                     // (used to pass outlined bodies to the runtime).
@@ -637,9 +650,7 @@ impl<'c> FnGen<'c> {
             }
             Expr::Deref(p, line) => {
                 let pty = self.eval(p)?;
-                pty.pointee()
-                    .cloned()
-                    .ok_or_else(|| self.err(*line, "dereference of non-pointer"))
+                pty.pointee().cloned().ok_or_else(|| self.err(*line, "dereference of non-pointer"))
             }
             Expr::Index { base, index, line } => self.gen_index_addr(base, index, *line),
             Expr::Cast { x, .. } => self.gen_lvalue(x),
@@ -673,10 +684,8 @@ impl<'c> FnGen<'c> {
 
     fn gen_index_addr(&mut self, base: &Expr, index: &Expr, line: u32) -> GResult<Type> {
         let bty = self.eval(base)?;
-        let elem = bty
-            .pointee()
-            .cloned()
-            .ok_or_else(|| self.err(line, "indexing a non-pointer"))?;
+        let elem =
+            bty.pointee().cloned().ok_or_else(|| self.err(line, "indexing a non-pointer"))?;
         self.push(T0);
         let ity = self.eval(index)?;
         if ity.is_double() {

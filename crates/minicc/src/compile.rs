@@ -79,7 +79,14 @@ pub struct FnBuf {
 
 impl FnBuf {
     pub fn new(name: String, file_id: u32) -> FnBuf {
-        FnBuf { name, file_id, insts: Vec::new(), relocs: Vec::new(), lines: Vec::new(), label_refs: Vec::new() }
+        FnBuf {
+            name,
+            file_id,
+            insts: Vec::new(),
+            relocs: Vec::new(),
+            lines: Vec::new(),
+            label_refs: Vec::new(),
+        }
     }
 }
 
@@ -188,8 +195,11 @@ pub fn compile(files: &[SourceFile]) -> Result<Module, CompileError> {
     };
 
     for (i, f) in files.iter().enumerate() {
-        let unit = parse(&f.text)
-            .map_err(|e| CompileError { file: f.name.clone(), line: e.line, msg: e.msg })?;
+        let unit = parse(&f.text).map_err(|e| CompileError {
+            file: f.name.clone(),
+            line: e.line,
+            msg: e.msg,
+        })?;
         cc.files.push(f.name.clone());
         units.push((unit, i as u32, f.tsan));
     }
@@ -216,18 +226,13 @@ pub fn compile(files: &[SourceFile]) -> Result<Module, CompileError> {
             match &g.init {
                 GlobalInit::None => {}
                 GlobalInit::Int(v) => {
-                    let bytes = if g.ty.size() == 1 {
-                        vec![*v as u8]
-                    } else {
-                        v.to_le_bytes().to_vec()
-                    };
-                    let image =
-                        if g.thread_local { &mut cc.tls_image } else { &mut cc.data };
+                    let bytes =
+                        if g.ty.size() == 1 { vec![*v as u8] } else { v.to_le_bytes().to_vec() };
+                    let image = if g.thread_local { &mut cc.tls_image } else { &mut cc.data };
                     image[off as usize..off as usize + bytes.len()].copy_from_slice(&bytes);
                 }
                 GlobalInit::Double(v) => {
-                    let image =
-                        if g.thread_local { &mut cc.tls_image } else { &mut cc.data };
+                    let image = if g.thread_local { &mut cc.tls_image } else { &mut cc.data };
                     image[off as usize..off as usize + 8]
                         .copy_from_slice(&v.to_bits().to_le_bytes());
                 }
@@ -241,7 +246,12 @@ pub fn compile(files: &[SourceFile]) -> Result<Module, CompileError> {
             }
             cc.globals.insert(
                 g.name.clone(),
-                GlobalSlot { off, ty: g.ty.clone(), tls: g.thread_local, threadprivate: g.threadprivate },
+                GlobalSlot {
+                    off,
+                    ty: g.ty.clone(),
+                    tls: g.thread_local,
+                    threadprivate: g.threadprivate,
+                },
             );
         }
     }
@@ -305,7 +315,11 @@ pub fn compile(files: &[SourceFile]) -> Result<Module, CompileError> {
 
     // Pass 4: synthesize `_start`.
     if !cc.fn_sigs.get("main").is_some_and(|s| s.defined) {
-        return Err(CompileError { file: "<link>".into(), line: 0, msg: "no `main` defined".into() });
+        return Err(CompileError {
+            file: "<link>".into(),
+            line: 0,
+            msg: "no `main` defined".into(),
+        });
     }
     let mut start = FnBuf::new("_start".into(), 0);
     start.insts.push(Inst::new(Op::Add, reg::S1, reg::A0, reg::ZERO, 0));
@@ -470,10 +484,7 @@ void exit_(int c) { __sys(0, c); }
         let g = m.symbol_by_name("g").unwrap();
         assert_eq!(g.kind, SymKind::Data);
         let off = (g.addr - m.data_base) as usize;
-        assert_eq!(
-            i64::from_le_bytes(m.data[off..off + 8].try_into().unwrap()),
-            7
-        );
+        assert_eq!(i64::from_le_bytes(m.data[off..off + 8].try_into().unwrap()), 7);
         let d = m.symbol_by_name("d").unwrap();
         let off = (d.addr - m.data_base) as usize;
         assert_eq!(
@@ -498,7 +509,9 @@ void exit_(int c) { __sys(0, c); }
         let t = m.symbol_by_name("t").unwrap();
         assert_eq!(t.kind, SymKind::Tls);
         assert_eq!(
-            i64::from_le_bytes(m.tls_template[t.addr as usize..t.addr as usize + 8].try_into().unwrap()),
+            i64::from_le_bytes(
+                m.tls_template[t.addr as usize..t.addr as usize + 8].try_into().unwrap()
+            ),
             9
         );
     }
@@ -515,11 +528,7 @@ void exit_(int c) { __sys(0, c); }
         assert_eq!(loc.file, "prog.c");
         assert_eq!(loc.line, 1);
         // some instruction in the middle should map to line 2 or 3
-        let mid = m
-            .lines
-            .iter()
-            .find(|l| l.line >= 2 && l.line <= 3)
-            .expect("body lines present");
+        let mid = m.lines.iter().find(|l| l.line >= 2 && l.line <= 3).expect("body lines present");
         assert!(mid.addr > main.addr);
     }
 }

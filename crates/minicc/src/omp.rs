@@ -263,7 +263,12 @@ impl<'c> FnGen<'c> {
                 Expr::Var(n, _) => (n.clone(), rhs.as_ref().clone()),
                 _ => return Err(GenError { line, msg: "taskloop: non-canonical init".into() }),
             },
-            _ => return Err(GenError { line, msg: "taskloop: loop must initialize its variable".into() }),
+            _ => {
+                return Err(GenError {
+                    line,
+                    msg: "taskloop: loop must initialize its variable".into(),
+                })
+            }
         };
         let (hi, inclusive) = match cond {
             Some(Expr::Bin { op: BinOp::Lt, rhs, .. }) => (rhs.as_ref().clone(), false),
@@ -275,7 +280,12 @@ impl<'c> FnGen<'c> {
             Some(Expr::Assign { rhs, .. }) => match rhs.as_ref() {
                 Expr::Bin { op: BinOp::Add, rhs: r, .. } => match r.as_ref() {
                     Expr::IntLit(c) if *c > 0 => *c,
-                    _ => return Err(GenError { line, msg: "taskloop: step must be a positive constant".into() }),
+                    _ => {
+                        return Err(GenError {
+                            line,
+                            msg: "taskloop: step must be a positive constant".into(),
+                        })
+                    }
                 },
                 _ => return Err(GenError { line, msg: "taskloop: non-canonical step".into() }),
             },
@@ -305,7 +315,8 @@ impl<'c> FnGen<'c> {
             line,
         };
         // __tl_ihi = min(__tl_c + span, __tl_hi)
-        let c_plus = Expr::Bin { op: BinOp::Add, lhs: Box::new(v("__tl_c")), rhs: Box::new(span), line };
+        let c_plus =
+            Expr::Bin { op: BinOp::Add, lhs: Box::new(v("__tl_c")), rhs: Box::new(span), line };
         let ihi = Expr::Cond {
             cond: Box::new(Expr::Bin {
                 op: BinOp::Lt,
@@ -423,10 +434,7 @@ impl<'c> FnGen<'c> {
             }),
             None => Stmt::Expr(call.clone()),
         };
-        let clauses = TaskClauses {
-            shared: dst.into_iter().collect(),
-            ..Default::default()
-        };
+        let clauses = TaskClauses { shared: dst.into_iter().collect(), ..Default::default() };
         self.gen_task(&clauses, &body, line)
     }
 }
@@ -474,7 +482,10 @@ pub fn free_vars(s: &Stmt) -> Vec<String> {
                 Expr::Call { args, .. } => args.iter().for_each(|a| self.expr(a)),
                 Expr::Cast { x, .. } => self.expr(x),
                 Expr::CilkSpawn { call, .. } => self.expr(call),
-                Expr::IntLit(_) | Expr::FloatLit(_) | Expr::StrLit(_) | Expr::CharLit(_)
+                Expr::IntLit(_)
+                | Expr::FloatLit(_)
+                | Expr::StrLit(_)
+                | Expr::CharLit(_)
                 | Expr::SizeofType(_) => {}
             }
         }
@@ -522,7 +533,10 @@ pub fn free_vars(s: &Stmt) -> Vec<String> {
                         self.expr(e);
                     }
                 }
-                Stmt::Break(_) | Stmt::Continue(_) | Stmt::OmpTaskwait(_) | Stmt::OmpBarrier(_)
+                Stmt::Break(_)
+                | Stmt::Continue(_)
+                | Stmt::OmpTaskwait(_)
+                | Stmt::OmpBarrier(_)
                 | Stmt::CilkSync(_) => {}
                 Stmt::OmpParallel { num_threads, body, .. } => {
                     if let Some(e) = num_threads {
@@ -581,13 +595,7 @@ impl<'c> FnGen<'c> {
     }
 
     /// Generate an outlined function with the given captures.
-    fn outline(
-        &mut self,
-        fname: &str,
-        body: &Stmt,
-        caps: &[Capture],
-        line: u32,
-    ) -> GResult<()> {
+    fn outline(&mut self, fname: &str, body: &Stmt, caps: &[Capture], line: u32) -> GResult<()> {
         let params = vec![Param { ty: Type::Ptr(Box::new(Type::Int)), name: "__ctx".into() }];
         let body_vec = vec![body.clone()];
         let (file_id, tsan) = (self.file_id, self.tsan);
@@ -655,9 +663,7 @@ mod tests {
 
     #[test]
     fn free_vars_sees_nested_pragma_clauses() {
-        let s = body_of(
-            "void f() {\n#pragma omp task depend(out: q) if(c)\n{ int t = w; }\n}",
-        );
+        let s = body_of("void f() {\n#pragma omp task depend(out: q) if(c)\n{ int t = w; }\n}");
         let fv = free_vars(&s);
         assert!(fv.contains(&"q".to_string()));
         assert!(fv.contains(&"c".to_string()));

@@ -99,8 +99,13 @@ impl Parser {
     fn is_type_start(&self) -> bool {
         matches!(
             self.peek(),
-            Tok::KwInt | Tok::KwDouble | Tok::KwChar | Tok::KwVoid | Tok::KwLong
-                | Tok::KwUnsigned | Tok::KwConst
+            Tok::KwInt
+                | Tok::KwDouble
+                | Tok::KwChar
+                | Tok::KwVoid
+                | Tok::KwLong
+                | Tok::KwUnsigned
+                | Tok::KwConst
         )
     }
 
@@ -212,11 +217,7 @@ impl Parser {
                 }
                 self.expect(&Tok::RParen)?;
             }
-            let body = if self.eat(&Tok::Semi) {
-                None
-            } else {
-                Some(self.block_stmts()?)
-            };
+            let body = if self.eat(&Tok::Semi) { None } else { Some(self.block_stmts()?) };
             unit.functions.push(Function { ret: ty, name, params, variadic, body, line });
             return Ok(());
         }
@@ -237,9 +238,7 @@ impl Parser {
             if self.eat(&Tok::LBracket) {
                 let n = match self.bump() {
                     Tok::IntLit(v) if v > 0 => v as u64,
-                    other => {
-                        return Err(self.err(format!("expected array size, found {other:?}")))
-                    }
+                    other => return Err(self.err(format!("expected array size, found {other:?}"))),
                 };
                 self.expect(&Tok::RBracket)?;
                 gty = Type::Array(Box::new(gty), n);
@@ -250,9 +249,7 @@ impl Parser {
                     Tok::Minus => match self.bump() {
                         Tok::IntLit(v) => GlobalInit::Int(-v),
                         Tok::FloatLit(v) => GlobalInit::Double(-v),
-                        other => {
-                            return Err(self.err(format!("bad global initializer {other:?}")))
-                        }
+                        other => return Err(self.err(format!("bad global initializer {other:?}"))),
                     },
                     Tok::FloatLit(v) => GlobalInit::Double(v),
                     Tok::StrLit(s) => GlobalInit::Str(s),
@@ -309,11 +306,7 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let then = Box::new(self.stmt()?);
-                let els = if self.eat(&Tok::KwElse) {
-                    Some(Box::new(self.stmt()?))
-                } else {
-                    None
-                };
+                let els = if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
                 Ok(Stmt::If { cond, then, els, line })
             }
             Tok::KwWhile => {
@@ -392,9 +385,7 @@ impl Parser {
             if self.eat(&Tok::LBracket) {
                 let n = match self.bump() {
                     Tok::IntLit(v) if v > 0 => v as u64,
-                    other => {
-                        return Err(self.err(format!("expected array size, found {other:?}")))
-                    }
+                    other => return Err(self.err(format!("expected array size, found {other:?}"))),
                 };
                 self.expect(&Tok::RBracket)?;
                 ty = Type::Array(Box::new(ty), n);
@@ -406,11 +397,7 @@ impl Parser {
             }
         }
         self.expect(&Tok::Semi)?;
-        Ok(if decls.len() == 1 {
-            decls.pop().unwrap()
-        } else {
-            Stmt::Block(decls)
-        })
+        Ok(if decls.len() == 1 { decls.pop().unwrap() } else { Stmt::Block(decls) })
     }
 
     // ---- pragma handling ----
@@ -492,10 +479,9 @@ impl Parser {
                 }
                 Ok(Stmt::OmpTaskloop { clauses, body: Box::new(body), line })
             }
-            other => Err(ParseError {
-                line,
-                msg: format!("unsupported OpenMP directive `{other}`"),
-            }),
+            other => {
+                Err(ParseError { line, msg: format!("unsupported OpenMP directive `{other}`") })
+            }
         }
     }
 
@@ -520,12 +506,7 @@ impl Parser {
         let rhs = self.assignment()?;
         let rhs = match op {
             None => rhs,
-            Some(op) => Expr::Bin {
-                op,
-                lhs: Box::new(lhs.clone()),
-                rhs: Box::new(rhs),
-                line,
-            },
+            Some(op) => Expr::Bin { op, lhs: Box::new(lhs.clone()), rhs: Box::new(rhs), line },
         };
         Ok(Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), line })
     }
@@ -635,14 +616,20 @@ impl Parser {
                 }
                 Ok(Expr::CilkSpawn { call: Box::new(call), line })
             }
-            Tok::LParen if {
-                // cast: `(type)` — lookahead for a type keyword
-                matches!(
-                    self.peek2(),
-                    Tok::KwInt | Tok::KwDouble | Tok::KwChar | Tok::KwVoid | Tok::KwLong
-                        | Tok::KwUnsigned | Tok::KwConst
-                )
-            } =>
+            Tok::LParen
+                if {
+                    // cast: `(type)` — lookahead for a type keyword
+                    matches!(
+                        self.peek2(),
+                        Tok::KwInt
+                            | Tok::KwDouble
+                            | Tok::KwChar
+                            | Tok::KwVoid
+                            | Tok::KwLong
+                            | Tok::KwUnsigned
+                            | Tok::KwConst
+                    )
+                } =>
             {
                 self.bump();
                 let ty = self.full_type()?;
@@ -726,11 +713,7 @@ fn parse_name_list(s: &str, line: u32) -> PResult<Vec<String>> {
         .strip_prefix('(')
         .and_then(|x| x.strip_suffix(')'))
         .ok_or(ParseError { line, msg: format!("expected (list), found `{s}`") })?;
-    Ok(inner
-        .split(',')
-        .map(|x| x.trim().to_string())
-        .filter(|x| !x.is_empty())
-        .collect())
+    Ok(inner.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect())
 }
 
 #[derive(Default)]

@@ -255,11 +255,14 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 let text = std::str::from_utf8(&b[start..i]).unwrap();
                 if is_float {
-                    let v: f64 = text.parse().map_err(|_| err(line, format!("bad float {text}")))?;
+                    let v: f64 =
+                        text.parse().map_err(|_| err(line, format!("bad float {text}")))?;
                     out.push(Spanned { tok: Tok::FloatLit(v), line });
                 } else {
                     // Swallow integer suffixes (L, UL, ...).
-                    while i < b.len() && (b[i] == b'l' || b[i] == b'L' || b[i] == b'u' || b[i] == b'U') {
+                    while i < b.len()
+                        && (b[i] == b'l' || b[i] == b'L' || b[i] == b'u' || b[i] == b'U')
+                    {
                         i += 1;
                     }
                     let v: i64 = text.parse().map_err(|_| err(line, format!("bad int {text}")))?;
@@ -336,7 +339,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         b'<' => Tok::Lt,
                         b'>' => Tok::Gt,
                         other => {
-                            return Err(err(line, format!("unexpected character `{}`", other as char)))
+                            return Err(err(
+                                line,
+                                format!("unexpected character `{}`", other as char),
+                            ))
                         }
                     };
                     (t, 1)
@@ -388,8 +394,10 @@ mod tests {
 
     #[test]
     fn numbers_and_suffixes() {
-        assert_eq!(toks("0x10 1.5 2e3 7L")[..4],
-            [Tok::IntLit(16), Tok::FloatLit(1.5), Tok::FloatLit(2000.0), Tok::IntLit(7)]);
+        assert_eq!(
+            toks("0x10 1.5 2e3 7L")[..4],
+            [Tok::IntLit(16), Tok::FloatLit(1.5), Tok::FloatLit(2000.0), Tok::IntLit(7)]
+        );
     }
 
     #[test]

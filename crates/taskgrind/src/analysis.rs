@@ -104,9 +104,8 @@ fn suppress_range(
         // segment-local: both segments ran on the same thread and the
         // range lies below the stack frame registered at each segment's
         // start — frames created and destroyed within the segments
-        let local_to = |s: &crate::graph::Segment| {
-            lo >= s.stack_low && hi <= s.stack_high && hi <= s.start_sp
-        };
+        let local_to =
+            |s: &crate::graph::Segment| lo >= s.stack_low && hi <= s.stack_high && hi <= s.start_sp;
         if local_to(a) && local_to(b) {
             return Some("stack");
         }

@@ -394,7 +394,8 @@ impl GraphBuilder {
             children: Vec::new(),
             dep_preds: Vec::new(),
             mutex_objs: Vec::new(),
-            fulfill_seg: None,            implicit,
+            fulfill_seg: None,
+            implicit,
         });
         if let Some(p) = parent {
             self.tasks[p as usize].children.push(id);
@@ -419,7 +420,8 @@ impl GraphBuilder {
                 children: Vec::new(),
                 dep_preds: Vec::new(),
                 mutex_objs: Vec::new(),
-                fulfill_seg: None,                implicit: true,
+                fulfill_seg: None,
+                implicit: true,
             });
             let seg = {
                 let id = self.segments.len() as SegId;
@@ -800,12 +802,8 @@ impl GraphBuilder {
                 }
             }
         }
-        let open: Vec<(TaskId, SegId)> = self
-            .ctx
-            .values()
-            .flatten()
-            .map(|c| (c.task, c.cur_seg))
-            .collect();
+        let open: Vec<(TaskId, SegId)> =
+            self.ctx.values().flatten().map(|c| (c.task, c.cur_seg)).collect();
         for (t, s) in open {
             if self.tasks[t as usize].last_seg.is_none() {
                 self.tasks[t as usize].last_seg = Some(s);
@@ -841,11 +839,7 @@ impl GraphBuilder {
         self.edges.extend(extra);
         self.edges.sort_unstable();
         self.edges.dedup();
-        let g = SegmentGraph {
-            segments: self.segments,
-            tasks: self.tasks,
-            edges: self.edges,
-        };
+        let g = SegmentGraph { segments: self.segments, tasks: self.tasks, edges: self.edges };
         debug_assert!(g.validate().is_empty(), "{:?}", g.validate());
         g
     }
@@ -914,12 +908,7 @@ mod tests {
         // creator's pre-spawn segment precedes the child...
         assert!(r.reaches(root_seg, child));
         // ...but the continuation segment does not (nor vice versa)
-        let cont = g
-            .segments
-            .iter()
-            .find(|s| s.kind == "after-spawn")
-            .unwrap()
-            .id;
+        let cont = g.segments.iter().find(|s| s.kind == "after-spawn").unwrap().id;
         assert!(!r.ordered(cont, child));
     }
 
@@ -936,12 +925,7 @@ mod tests {
         let g = b.finalize();
         let r = Reachability::compute(&g);
         let child = g.tasks[t1 as usize].first_seg.unwrap();
-        let after = g
-            .segments
-            .iter()
-            .find(|s| s.kind == "after-taskwait")
-            .unwrap()
-            .id;
+        let after = g.segments.iter().find(|s| s.kind == "after-taskwait").unwrap().id;
         assert!(r.reaches(child, after), "taskwait joins the child");
     }
 
@@ -1151,12 +1135,7 @@ mod tests {
         let g = b.finalize();
         let r = Reachability::compute(&g);
         let desc = g.tasks[t2 as usize].first_seg.unwrap();
-        let after = g
-            .segments
-            .iter()
-            .rfind(|s| s.kind == "after-taskgroup")
-            .unwrap()
-            .id;
+        let after = g.segments.iter().rfind(|s| s.kind == "after-taskgroup").unwrap().id;
         assert!(r.reaches(desc, after), "taskgroup waits for descendants");
     }
 
@@ -1174,16 +1153,8 @@ mod tests {
         let g = b.finalize();
         let r = Reachability::compute(&g);
         let child = g.tasks[t as usize].first_seg.unwrap();
-        let cont = g
-            .segments
-            .iter()
-            .find(|s| s.kind == "after-spawn")
-            .unwrap()
-            .id;
-        assert!(
-            !r.ordered(child, cont),
-            "annotated deferrable: no inline continuation edge"
-        );
+        let cont = g.segments.iter().find(|s| s.kind == "after-spawn").unwrap().id;
+        assert!(!r.ordered(child, cont), "annotated deferrable: no inline continuation edge");
 
         // without the annotation, included tasks order the continuation
         let mut b2 = GraphBuilder::new();
@@ -1195,12 +1166,7 @@ mod tests {
         let g2 = b2.finalize();
         let r2 = Reachability::compute(&g2);
         let child = g2.tasks[t as usize].first_seg.unwrap();
-        let cont = g2
-            .segments
-            .iter()
-            .find(|s| s.kind == "after-inline-task")
-            .unwrap()
-            .id;
+        let cont = g2.segments.iter().find(|s| s.kind == "after-inline-task").unwrap().id;
         assert!(r2.reaches(child, cont));
     }
 

@@ -112,11 +112,7 @@ impl IntervalTree {
     /// `O(min(n,m) · log(max(n,m)))` by probing the smaller tree's
     /// intervals against the larger.
     pub fn intersect(&self, other: &IntervalTree) -> Vec<(u64, u64)> {
-        let (small, big) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (small, big) = if self.len() <= other.len() { (self, other) } else { (other, self) };
         let mut out = Vec::new();
         for (lo, hi) in small.iter() {
             // predecessor that may reach into [lo, hi)
@@ -125,10 +121,9 @@ impl IntervalTree {
                     out.push((lo.max(plo), hi.min(phi)));
                 }
             }
-            for (&slo, &shi) in big.map.range((
-                std::ops::Bound::Excluded(lo),
-                std::ops::Bound::Excluded(hi),
-            )) {
+            for (&slo, &shi) in
+                big.map.range((std::ops::Bound::Excluded(lo), std::ops::Bound::Excluded(hi)))
+            {
                 out.push((slo, hi.min(shi)));
             }
         }
@@ -139,11 +134,7 @@ impl IntervalTree {
 
     /// True if any byte overlaps between the two trees (early-exit form).
     pub fn intersects(&self, other: &IntervalTree) -> bool {
-        let (small, big) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (small, big) = if self.len() <= other.len() { (self, other) } else { (other, self) };
         for (lo, hi) in small.iter() {
             if big.overlaps(lo, hi) {
                 return true;
@@ -154,11 +145,8 @@ impl IntervalTree {
 
     /// Union of two trees (used to form `s2.r ∪ s2.w` without mutating).
     pub fn union(&self, other: &IntervalTree) -> IntervalTree {
-        let (mut out, rest) = if self.len() >= other.len() {
-            (self.clone(), other)
-        } else {
-            (other.clone(), self)
-        };
+        let (mut out, rest) =
+            if self.len() >= other.len() { (self.clone(), other) } else { (other.clone(), self) };
         for (lo, hi) in rest.iter() {
             out.insert(lo, hi);
         }

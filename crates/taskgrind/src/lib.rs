@@ -102,6 +102,15 @@ pub struct TaskgrindResult {
     pub analysis_secs: f64,
     /// Host bytes used by tool structures at end of recording.
     pub tool_bytes: u64,
+    /// Memory-access callbacks that actually fired during recording.
+    pub accesses_recorded: u64,
+    /// Access sites whose callbacks the static filter removed at
+    /// translation time (0 when the filter is off).
+    pub sites_pruned: u64,
+    /// Access sites that kept their callbacks.
+    pub sites_instrumented: u64,
+    /// The static facts used for pruning, if the filter ran.
+    pub static_facts: Option<Arc<tga_analysis::StaticFacts>>,
 }
 
 impl TaskgrindResult {
@@ -112,17 +121,18 @@ impl TaskgrindResult {
 
     /// Render every report in Taskgrind style.
     pub fn render_all(&self) -> String {
-        self.reports
-            .iter()
-            .map(report::render_taskgrind)
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.reports.iter().map(report::render_taskgrind).collect::<Vec<_>>().join("\n")
     }
 }
 
 /// Run a compiled module under Taskgrind: record, then analyze.
 pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> TaskgrindResult {
-    let tool = TaskgrindTool::new(cfg.record.clone());
+    let mut record = cfg.record.clone();
+    if record.static_filter && record.static_facts.is_none() {
+        record.static_facts = Some(Arc::new(tga_analysis::analyze(module)));
+    }
+    let static_facts = record.static_facts.clone().filter(|_| record.static_filter);
+    let tool = TaskgrindTool::new(record);
     let state = tool.state();
     let mut vm = Vm::new(module.clone(), Box::new(tool), cfg.vm.clone());
 
@@ -134,10 +144,7 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
 
     let mut rec = take_recording(state);
     rec.blocks.sort_by_key(|b| b.base);
-    let module_arc = rec
-        .module
-        .take()
-        .unwrap_or_else(|| Arc::new(module.clone()));
+    let module_arc = rec.module.take().unwrap_or_else(|| Arc::new(module.clone()));
 
     let t1 = Instant::now();
     let graph = rec.builder.finalize();
@@ -167,6 +174,10 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
         recording_secs,
         analysis_secs,
         tool_bytes,
+        accesses_recorded: rec.accesses_recorded,
+        sites_pruned: rec.sites_pruned,
+        sites_instrumented: rec.sites_instrumented,
+        static_facts,
     }
 }
 
@@ -421,9 +432,8 @@ int main(void) {
         // full tool: clean except the intended sink conflict? sink is a
         // genuine shared write conflict between the two tasks — exclude
         // it by checking only heap-region reports.
-        let count_heap = |r: &TaskgrindResult| {
-            r.reports.iter().filter(|rep| rep.region == "heap").count()
-        };
+        let count_heap =
+            |r: &TaskgrindResult| r.reports.iter().filter(|rep| rep.region == "heap").count();
         let full = check_module(&m, &[], &TaskgrindConfig::default());
         assert_eq!(count_heap(&full), 0, "{}", full.render_all());
 
@@ -453,10 +463,7 @@ int main(void) {
         assert_eq!(after.n_reports(), 0);
         assert_eq!(after.suppressed_reports.len(), before.n_reports());
         // the raw analysis is unchanged — only reporting is filtered
-        assert_eq!(
-            after.analysis.candidates.len(),
-            before.analysis.candidates.len()
-        );
+        assert_eq!(after.analysis.candidates.len(), before.analysis.candidates.len());
     }
 
     #[test]

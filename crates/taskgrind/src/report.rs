@@ -83,9 +83,7 @@ fn seg_site(g: &SegmentGraph, module: &Module, seg: SegId) -> String {
 fn alloc_site(module: &Module, stack: &[u64], ignore: &[String]) -> String {
     for &pc in stack {
         let Some(f) = module.find_func(pc) else { continue };
-        let ignored = ignore
-            .iter()
-            .any(|p| grindcore::tool::pattern_matches(p, &f.name));
+        let ignored = ignore.iter().any(|p| grindcore::tool::pattern_matches(p, &f.name));
         if ignored {
             continue;
         }
@@ -125,8 +123,8 @@ pub fn summarize(
                 }
             }
         };
-        let entry = grouped.entry((s1.clone(), s2.clone(), block_key)).or_insert_with(|| {
-            RaceReport {
+        let entry =
+            grouped.entry((s1.clone(), s2.clone(), block_key)).or_insert_with(|| RaceReport {
                 site1: s1,
                 site2: s2,
                 example_addr: c.lo,
@@ -134,8 +132,7 @@ pub fn summarize(
                 occurrences: 0,
                 block: block.map(|b| (b.base, b.size, alloc_site(module, &b.alloc_stack, ignore))),
                 region,
-            }
-        });
+            });
         entry.occurrences += 1;
     }
     grouped.into_values().collect()

@@ -74,8 +74,7 @@ impl Suppressions {
     pub fn matches(&self, report: &RaceReport) -> bool {
         self.rules.iter().any(|r| {
             (pattern_matches(&r.a, &report.site1) && pattern_matches(&r.b, &report.site2))
-                || (pattern_matches(&r.a, &report.site2)
-                    && pattern_matches(&r.b, &report.site1))
+                || (pattern_matches(&r.a, &report.site2) && pattern_matches(&r.b, &report.site1))
         })
     }
 
@@ -141,8 +140,7 @@ mod tests {
     #[test]
     fn apply_partitions() {
         let s = Suppressions::parse("a.c:* *").unwrap();
-        let (kept, suppressed) =
-            s.apply(vec![report("a.c:1", "b.c:2"), report("c.c:3", "d.c:4")]);
+        let (kept, suppressed) = s.apply(vec![report("a.c:1", "b.c:2"), report("c.c:3", "d.c:4")]);
         assert_eq!(kept.len(), 1);
         assert_eq!(suppressed.len(), 1);
         assert_eq!(kept[0].site1, "c.c:3");

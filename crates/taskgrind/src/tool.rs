@@ -14,12 +14,15 @@
 use crate::graph::{DepKind, GraphBuilder, ThreadMeta};
 use crate::report::AllocBlock;
 use grindcore::creq;
-use grindcore::tool::{instrument_mem_accesses, pattern_matches, BlockMeta, FnReplacement, Tool};
+use grindcore::tool::{
+    instrument_mem_accesses_filtered, pattern_matches, BlockMeta, FnReplacement, Tool,
+};
 use grindcore::{Tid, VmCore};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 use tga::module::Module;
+use tga_analysis::StaticFacts;
 use vex_ir::IrBlock;
 
 const REPL_MALLOC: u32 = 1;
@@ -32,9 +35,29 @@ const REPL_FAST_FREE: u32 = 5;
 /// (the paper's list "contains symbols prefixed with __kmp").
 pub fn default_ignore_list() -> Vec<String> {
     [
-        "__kmp*", "__libc*", "__cilk*", "__tsan*", "__malloc*", "__fmt*", "omp_*", "_start",
-        "malloc", "free", "calloc", "memset", "memcpy", "strlen", "strcmp", "atoi", "printf",
-        "puts", "putchar", "exit", "abort", "rand", "tg_set_deferrable",
+        "__kmp*",
+        "__libc*",
+        "__cilk*",
+        "__tsan*",
+        "__malloc*",
+        "__fmt*",
+        "omp_*",
+        "_start",
+        "malloc",
+        "free",
+        "calloc",
+        "memset",
+        "memcpy",
+        "strlen",
+        "strcmp",
+        "atoi",
+        "printf",
+        "puts",
+        "putchar",
+        "exit",
+        "abort",
+        "rand",
+        "tg_set_deferrable",
     ]
     .into_iter()
     .map(String::from)
@@ -57,6 +80,13 @@ pub struct RecordOptions {
     /// turning this off reproduces that limitation — task capture
     /// payloads recycle and independent tasks alias payload addresses.
     pub replace_runtime_allocator: bool,
+    /// Use the static-analysis layer (`tga-analysis`) to prune
+    /// instrumentation of accesses proven thread-private or read-only.
+    /// `--no-static-filter` on the CLI turns this off.
+    pub static_filter: bool,
+    /// Precomputed static facts. When `None` and `static_filter` is on,
+    /// [`crate::check_module`] runs the analysis itself.
+    pub static_facts: Option<Arc<StaticFacts>>,
 }
 
 impl Default for RecordOptions {
@@ -66,6 +96,8 @@ impl Default for RecordOptions {
             instrument_list: Vec::new(),
             replace_allocator: true,
             replace_runtime_allocator: true,
+            static_filter: true,
+            static_facts: None,
         }
     }
 }
@@ -80,6 +112,11 @@ pub struct Recording {
     /// Superblocks skipped entirely by symbol filtering.
     pub blocks_skipped: u64,
     pub blocks_instrumented: u64,
+    /// Access sites (static load/store positions in translated blocks)
+    /// whose callbacks the static filter removed.
+    pub sites_pruned: u64,
+    /// Access sites that did receive a callback.
+    pub sites_instrumented: u64,
     opts: RecordOptions,
 }
 
@@ -87,11 +124,8 @@ impl Recording {
     /// Approximate host bytes held by recording structures.
     pub fn heap_bytes(&self) -> u64 {
         let seg_bytes: u64 = self.builder.segments.iter().map(|s| s.bytes()).sum();
-        let block_bytes: u64 = self
-            .blocks
-            .iter()
-            .map(|b| 32 + b.alloc_stack.len() as u64 * 8)
-            .sum();
+        let block_bytes: u64 =
+            self.blocks.iter().map(|b| 32 + b.alloc_stack.len() as u64 * 8).sum();
         seg_bytes + block_bytes
     }
 }
@@ -113,6 +147,8 @@ impl TaskgrindTool {
                 accesses_recorded: 0,
                 blocks_skipped: 0,
                 blocks_instrumented: 0,
+                sites_pruned: 0,
+                sites_instrumented: 0,
                 opts,
             })),
         }
@@ -127,11 +163,7 @@ impl TaskgrindTool {
         let st = self.state.borrow();
         let Some(name) = sym else { return true };
         if !st.opts.instrument_list.is_empty() {
-            return st
-                .opts
-                .instrument_list
-                .iter()
-                .any(|p| pattern_matches(p, name));
+            return st.opts.instrument_list.iter().any(|p| pattern_matches(p, name));
         }
         !st.opts.ignore_list.iter().any(|p| pattern_matches(p, name))
     }
@@ -157,8 +189,25 @@ impl Tool for TaskgrindTool {
 
     fn instrument(&mut self, block: IrBlock, meta: &BlockMeta) -> IrBlock {
         if self.should_instrument(meta.fn_symbol.as_deref()) {
-            self.state.borrow_mut().blocks_instrumented += 1;
-            instrument_mem_accesses(block)
+            let mut st = self.state.borrow_mut();
+            st.blocks_instrumented += 1;
+            let facts = if st.opts.static_filter { st.opts.static_facts.clone() } else { None };
+            let (mut pruned, mut kept) = (0u64, 0u64);
+            let block = instrument_mem_accesses_filtered(block, &mut |pc, write| {
+                let keep = match &facts {
+                    Some(f) => !f.is_safe_access(pc, write),
+                    None => true,
+                };
+                if keep {
+                    kept += 1;
+                } else {
+                    pruned += 1;
+                }
+                keep
+            });
+            st.sites_pruned += pruned;
+            st.sites_instrumented += kept;
+            block
         } else {
             self.state.borrow_mut().blocks_skipped += 1;
             block

@@ -1,0 +1,584 @@
+//! Abstract interpretation of lifted superblocks: stack-slot escape
+//! analysis, stack-pointer delta checking, and read-only classification
+//! of globals.
+//!
+//! Every basic-block leader of every recovered function is lifted with
+//! [`grindcore::lift_superblock`] and interpreted over a tiny abstract
+//! domain: a value is a known constant, a known offset from the
+//! block-entry `sp` or `fp`, or unknown. Because a leader is analysed
+//! with no knowledge of its callers or predecessors, any frame address
+//! that *leaves* the abstract state — stored outside a transient
+//! push/save slot, resident in a scratch register or an untracked stack
+//! slot at a block boundary, or passed to a syscall/client request —
+//! is treated as an escape of that slot. The resulting facts are a
+//! *meet* over every context containing an instruction: an access is
+//! only classified thread-private if every lifted context proves it so.
+//!
+//! Soundness rests on the target's codegen discipline (which minicc and
+//! the guest runtime follow): `sp`-based stores are only operand-stack
+//! pushes and prologue link saves, locals are addressed `fp`-relative,
+//! and stack addresses are never laundered through arithmetic the
+//! domain cannot follow (any such arithmetic poisons the whole frame).
+//! Like the dynamic stack suppression of §IV-D, the classification
+//! assumes no cross-thread use-after-return of stack addresses.
+
+use crate::cfg::Cfg;
+use grindcore::lift::{lift_superblock, MAX_BLOCK_INSTS};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tga::module::{Module, SymKind};
+use tga::{reg, NUM_REGS};
+use vex_ir::{Atom, BinOp, IrBlock, JumpKind, Rhs, Stmt, UnOp};
+
+/// Which stack anchor an abstract offset is relative to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum BaseReg {
+    /// Block-entry stack pointer.
+    Sp,
+    /// Block-entry frame pointer.
+    Fp,
+}
+
+/// The abstract value domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AbsVal {
+    Const(u64),
+    /// A stack address: `base + off`. `via_sp` marks a value obtained
+    /// by reading `sp` directly (plus a constant) — the only way
+    /// operand-stack pushes and prologue saves address memory.
+    Stack {
+        base: BaseReg,
+        off: i64,
+        via_sp: bool,
+    },
+    Other,
+}
+
+use AbsVal::{Const, Other, Stack};
+
+/// Per-function dataflow verdicts.
+#[derive(Clone, Debug, Default)]
+pub struct FnFacts {
+    /// Canonical `fp`-relative offsets whose address escapes the frame.
+    pub escaped: BTreeSet<i64>,
+    /// A frame address flowed somewhere the domain cannot follow; no
+    /// access of this function's frame may be treated as private.
+    pub poisoned: bool,
+    /// One representative escape site per offset: `(offset, pc)`.
+    pub escape_sites: Vec<(i64, u64)>,
+    /// Return sites whose reconstructed `sp` does not restore the
+    /// caller's stack pointer: `(pc, description)`.
+    pub ret_mismatches: Vec<u64>,
+}
+
+/// A read-only classified global.
+#[derive(Clone, Debug)]
+pub struct RoRange {
+    pub name: String,
+    pub lo: u64,
+    pub hi: u64,
+}
+
+/// How one lifted context saw one guest memory access.
+#[derive(Clone, Copy, Debug)]
+enum AccessKind {
+    /// Frame slot at a known canonical `fp`-relative offset.
+    StackCanon(i64),
+    /// Stack slot with no canonical offset (operand-stack pushes and
+    /// link saves reached relative to a mid-function `sp`).
+    StackAnon,
+    /// A direct absolute access of `size` bytes.
+    ConstAddr { addr: u64, size: u64, write: bool },
+    /// Untracked address, or an atomic (never filtered).
+    Unknown,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct AccessRec {
+    pc: u64,
+    func: usize,
+    kind: AccessKind,
+}
+
+/// Aggregated dataflow output.
+#[derive(Clone, Debug, Default)]
+pub struct Dataflow {
+    /// Parallel to `cfg.funcs`.
+    pub fn_facts: Vec<FnFacts>,
+    /// Globals never written and never address-taken.
+    pub ro: Vec<RoRange>,
+    /// Guest pcs of loads/stores proven thread-private or read-only in
+    /// every context that contains them.
+    pub safe_pcs: BTreeSet<u64>,
+    /// Stores with a constant target inside the text section.
+    pub code_writes: Vec<(u64, u64)>,
+    /// Total distinct access pcs seen by the analysis.
+    pub access_pcs: usize,
+}
+
+struct DataSym {
+    name: String,
+    lo: u64,
+    hi: u64,
+}
+
+/// Global (module-level) accumulators shared across contexts.
+struct GlobalAcc {
+    data_syms: Vec<DataSym>,
+    /// Indices into `data_syms` with a direct constant-address store.
+    written: BTreeSet<usize>,
+    /// Indices whose address was stored, passed, or live at a boundary.
+    addr_escaped: BTreeSet<usize>,
+    code_writes: Vec<(u64, u64)>,
+    records: Vec<AccessRec>,
+    data_lo: u64,
+    data_hi: u64,
+    code_lo: u64,
+    code_hi: u64,
+}
+
+impl GlobalAcc {
+    fn sym_of(&self, addr: u64) -> Option<usize> {
+        self.data_syms.iter().position(|s| addr >= s.lo && addr < s.hi)
+    }
+
+    fn addr_escape(&mut self, addr: u64) {
+        if let Some(i) = self.sym_of(addr) {
+            self.addr_escaped.insert(i);
+        }
+    }
+
+    fn in_data(&self, addr: u64) -> bool {
+        addr >= self.data_lo && addr < self.data_hi
+    }
+}
+
+/// Abstract machine state while interpreting one lifted superblock.
+struct BlockState {
+    tmps: Vec<AbsVal>,
+    regs: [AbsVal; NUM_REGS],
+    /// Tracked stack slots, keyed by `(base, off)`.
+    mem: HashMap<(BaseReg, i64), AbsVal>,
+}
+
+impl BlockState {
+    fn new(n_temps: u32) -> BlockState {
+        let mut regs = [Other; NUM_REGS];
+        regs[reg::ZERO as usize] = Const(0);
+        regs[reg::SP as usize] = Stack { base: BaseReg::Sp, off: 0, via_sp: false };
+        regs[reg::FP as usize] = Stack { base: BaseReg::Fp, off: 0, via_sp: false };
+        BlockState { tmps: vec![Other; n_temps as usize], regs, mem: HashMap::new() }
+    }
+
+    fn atom(&self, a: &Atom) -> AbsVal {
+        match a {
+            Atom::Const(c) => Const(*c),
+            Atom::Tmp(t) => self.tmps[t.0 as usize],
+        }
+    }
+
+    /// Canonical `fp`-relative offset of a stack value, if expressible
+    /// in the current context (directly `fp`-based, or `sp`-based in a
+    /// block that derived `fp` from the same anchor).
+    fn canonical(&self, base: BaseReg, off: i64) -> Option<i64> {
+        match base {
+            BaseReg::Fp => Some(off),
+            BaseReg::Sp => match self.regs[reg::FP as usize] {
+                Stack { base: BaseReg::Sp, off: fp_off, .. } => Some(off - fp_off),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Interpreter for one lifted context of one function.
+struct Interp<'a> {
+    st: BlockState,
+    facts: &'a mut FnFacts,
+    glob: &'a mut GlobalAcc,
+    func: usize,
+    /// Function range, for recognising tail transfers out of it.
+    flo: u64,
+    fhi: u64,
+    cur_pc: u64,
+}
+
+impl Interp<'_> {
+    /// A frame address left the abstract state: record the escape (or
+    /// poison the frame when the slot cannot be named).
+    fn escape_stack(&mut self, base: BaseReg, off: i64) {
+        match self.st.canonical(base, off) {
+            Some(c) => {
+                if self.facts.escaped.insert(c) {
+                    self.facts.escape_sites.push((c, self.cur_pc));
+                }
+            }
+            None => self.facts.poisoned = true,
+        }
+    }
+
+    /// Apply the boundary rules for a value that flows out of the block
+    /// (register or tracked slot at a block exit, dirty-call argument,
+    /// store payload).
+    fn escape_value(&mut self, v: AbsVal) {
+        match v {
+            Stack { base, off, .. } => self.escape_stack(base, off),
+            Const(c) if self.glob.in_data(c) => self.glob.addr_escape(c),
+            _ => {}
+        }
+    }
+
+    /// Addresses resident in tracked stack slots when control may leave
+    /// the block escape: the continuation is analysed from scratch and
+    /// would reload them as unknown values, so a later copy-out could
+    /// not be seen.
+    fn flush_mem(&mut self) {
+        let residues: Vec<AbsVal> = self.st.mem.values().copied().collect();
+        for v in residues {
+            self.escape_value(v);
+        }
+    }
+
+    /// Escape addresses in a register range (calling-convention rules:
+    /// a callee observes `a0..a7`, a caller observes `a0`, and a
+    /// cap-split or indirect continuation observes everything).
+    fn flush_regs(&mut self, lo: u8, hi: u8) {
+        for r in lo..=hi {
+            if r == reg::SP || r == reg::FP {
+                continue;
+            }
+            self.escape_value(self.st.regs[r as usize]);
+        }
+    }
+
+    fn record(&mut self, kind: AccessKind) {
+        self.glob.records.push(AccessRec { pc: self.cur_pc, func: self.func, kind });
+    }
+
+    fn classify_addr(&self, a: AbsVal, size: u64, write: bool) -> AccessKind {
+        match a {
+            Stack { base, off, .. } => match self.st.canonical(base, off) {
+                Some(c) => AccessKind::StackCanon(c),
+                None => AccessKind::StackAnon,
+            },
+            Const(addr) => AccessKind::ConstAddr { addr, size, write },
+            Other => AccessKind::Unknown,
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, l: AbsVal, r: AbsVal) -> AbsVal {
+        use BinOp::*;
+        match (op, l, r) {
+            (_, Const(a), Const(b)) => fold_const(op, a, b),
+            (Add, Stack { base, off, via_sp }, Const(c))
+            | (Add, Const(c), Stack { base, off, via_sp }) => {
+                Stack { base, off: off.wrapping_add(c as i64), via_sp }
+            }
+            (Sub, Stack { base, off, via_sp }, Const(c)) => {
+                Stack { base, off: off.wrapping_sub(c as i64), via_sp }
+            }
+            (Sub, Stack { base: b1, off: o1, .. }, Stack { base: b2, off: o2, .. }) if b1 == b2 => {
+                Const(o1.wrapping_sub(o2) as u64)
+            }
+            (CmpEq | CmpNe | CmpLtS | CmpLeS | CmpLtU, _, _) => Other,
+            (_, Stack { .. }, _) | (_, _, Stack { .. }) => {
+                // Frame address flowing through arithmetic the domain
+                // cannot invert: give up on the whole frame.
+                self.facts.poisoned = true;
+                Other
+            }
+            _ => Other,
+        }
+    }
+
+    fn unop(&mut self, op: UnOp, x: AbsVal) -> AbsVal {
+        match (op, x) {
+            (UnOp::Neg, Const(c)) => Const(c.wrapping_neg()),
+            (UnOp::Not, Const(c)) => Const(!c),
+            (_, Stack { .. }) => {
+                self.facts.poisoned = true;
+                Other
+            }
+            _ => Other,
+        }
+    }
+
+    fn run(&mut self, block: &IrBlock) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::IMark { addr, .. } => self.cur_pc = *addr,
+                Stmt::WrTmp { dst, rhs } => {
+                    let v = match rhs {
+                        Rhs::Atom(a) => self.st.atom(a),
+                        Rhs::Get { reg: r } => {
+                            let v = self.st.regs[*r as usize];
+                            // `via_sp` is a property of the read, not of
+                            // the value: only a direct `sp` read can
+                            // address a push/save slot.
+                            match v {
+                                Stack { base, off, .. } => {
+                                    Stack { base, off, via_sp: *r == reg::SP }
+                                }
+                                other => other,
+                            }
+                        }
+                        Rhs::Load { ty, addr } => {
+                            let a = self.st.atom(addr);
+                            let kind = self.classify_addr(a, ty.size(), false);
+                            self.record(kind);
+                            match a {
+                                Stack { base, off, .. } => {
+                                    self.st.mem.get(&(base, off)).copied().unwrap_or(Other)
+                                }
+                                _ => Other,
+                            }
+                        }
+                        Rhs::Binop { op, lhs, rhs } => {
+                            let (l, r) = (self.st.atom(lhs), self.st.atom(rhs));
+                            self.binop(*op, l, r)
+                        }
+                        Rhs::Unop { op, x } => {
+                            let x = self.st.atom(x);
+                            self.unop(*op, x)
+                        }
+                        Rhs::Ite { cond: _, then, els } => {
+                            let (t, e) = (self.st.atom(then), self.st.atom(els));
+                            if t == e {
+                                t
+                            } else {
+                                if matches!(t, Stack { .. }) || matches!(e, Stack { .. }) {
+                                    self.facts.poisoned = true;
+                                }
+                                Other
+                            }
+                        }
+                    };
+                    self.st.tmps[dst.0 as usize] = v;
+                }
+                Stmt::Put { reg: r, src } => {
+                    if *r != reg::ZERO {
+                        self.st.regs[*r as usize] = self.st.atom(src);
+                    }
+                }
+                Stmt::Store { ty, addr, val } => {
+                    let a = self.st.atom(addr);
+                    let v = self.st.atom(val);
+                    let kind = self.classify_addr(a, ty.size(), true);
+                    self.record(kind);
+                    // A global's address stored anywhere (even pushed)
+                    // may be loaded back in a context that cannot track
+                    // it: the symbol can no longer be called read-only.
+                    if let Const(c) = v {
+                        if self.glob.in_data(c) {
+                            self.glob.addr_escape(c);
+                        }
+                    }
+                    match a {
+                        Stack { base, off, via_sp } => {
+                            // A frame address stored into anything but a
+                            // transient push/save slot may be reloaded
+                            // later as an untracked value and copied
+                            // out: that is an escape of the payload.
+                            if !via_sp {
+                                if let Stack { base: pb, off: po, .. } = v {
+                                    self.escape_stack(pb, po);
+                                }
+                            }
+                            self.st.mem.insert((base, off), v);
+                        }
+                        Const(c) => {
+                            if let Stack { base: pb, off: po, .. } = v {
+                                self.escape_stack(pb, po);
+                            }
+                            if c >= self.glob.code_lo && c < self.glob.code_hi {
+                                self.glob.code_writes.push((self.cur_pc, c));
+                            }
+                            if let Some(i) = self.glob.sym_of(c) {
+                                self.glob.written.insert(i);
+                            }
+                            self.st.mem.clear();
+                        }
+                        Other => {
+                            if let Stack { base: pb, off: po, .. } = v {
+                                self.escape_stack(pb, po);
+                            }
+                            // Unknown target may alias any tracked slot.
+                            self.st.mem.clear();
+                        }
+                    }
+                }
+                Stmt::Cas { addr, expected, new, .. } => {
+                    let _ = self.st.atom(addr);
+                    self.record(AccessKind::Unknown); // atomics stay instrumented
+                    self.escape_value(self.st.atom(expected));
+                    self.escape_value(self.st.atom(new));
+                    self.st.mem.clear();
+                }
+                Stmt::AtomicAdd { addr, val, .. } => {
+                    let _ = self.st.atom(addr);
+                    self.record(AccessKind::Unknown);
+                    self.escape_value(self.st.atom(val));
+                    self.st.mem.clear();
+                }
+                Stmt::Dirty { args, dst, .. } => {
+                    let vals: Vec<AbsVal> = args.iter().map(|a| self.st.atom(a)).collect();
+                    for v in vals {
+                        self.escape_value(v);
+                    }
+                    if let Some(d) = dst {
+                        self.st.tmps[d.0 as usize] = Other;
+                    }
+                }
+                Stmt::Exit { .. } => {
+                    // Control may leave here for another leader that is
+                    // analysed from scratch: pushed addresses still on
+                    // the operand stack become untrackable there.
+                    self.flush_mem();
+                }
+            }
+        }
+        self.flush_mem();
+        match block.jumpkind {
+            JumpKind::Call { .. } => {
+                // The callee observes the argument registers.
+                self.flush_regs(reg::A0, reg::A7);
+            }
+            JumpKind::Ret => {
+                // The caller observes the return value.
+                self.flush_regs(reg::A0, reg::A0);
+                // A return must restore the caller's stack pointer:
+                // either the block-entry `sp` (whole-function context)
+                // or `fp + 16` (epilogue context; `fp` = entry-sp − 16).
+                let ok = matches!(
+                    self.st.regs[reg::SP as usize],
+                    Stack { base: BaseReg::Sp, off: 0, .. }
+                        | Stack { base: BaseReg::Fp, off: 16, .. }
+                );
+                if !ok {
+                    self.facts.ret_mismatches.push(self.cur_pc);
+                }
+            }
+            JumpKind::Halt => {}
+            JumpKind::Boring => match block.next {
+                Atom::Const(t) if t >= self.flo && t < self.fhi => {
+                    // Intra-function transfer. If the lifter hit its
+                    // instruction cap the continuation is plain
+                    // straight-line code that may use any register the
+                    // codegen assumed was still live.
+                    if block.guest_instrs() >= MAX_BLOCK_INSTS {
+                        self.flush_regs(0, NUM_REGS as u8 - 1);
+                    }
+                }
+                Atom::Const(_) => {
+                    // Tail transfer into another function: treat its
+                    // register visibility like a call.
+                    self.flush_regs(reg::A0, reg::A7);
+                }
+                Atom::Tmp(_) => {
+                    // Indirect jump: the continuation is unknown.
+                    self.flush_regs(0, NUM_REGS as u8 - 1);
+                }
+            },
+        }
+    }
+}
+
+fn fold_const(op: BinOp, a: u64, b: u64) -> AbsVal {
+    use BinOp::*;
+    match op {
+        Add => Const(a.wrapping_add(b)),
+        Sub => Const(a.wrapping_sub(b)),
+        Mul => Const(a.wrapping_mul(b)),
+        And => Const(a & b),
+        Or => Const(a | b),
+        Xor => Const(a ^ b),
+        Shl => Const(a.wrapping_shl(b as u32)),
+        ShrU => Const(a.wrapping_shr(b as u32)),
+        CmpEq => Const((a == b) as u64),
+        CmpNe => Const((a != b) as u64),
+        CmpLtS => Const(((a as i64) < (b as i64)) as u64),
+        CmpLeS => Const(((a as i64) <= (b as i64)) as u64),
+        CmpLtU => Const((a < b) as u64),
+        _ => Other,
+    }
+}
+
+fn data_symbols(module: &Module) -> Vec<DataSym> {
+    let mut syms: Vec<_> = module.symbols.iter().filter(|s| s.kind == SymKind::Data).collect();
+    syms.sort_by_key(|s| s.addr);
+    let data_end = module.data_end();
+    (0..syms.len())
+        .map(|i| {
+            let next = syms.get(i + 1).map(|s| s.addr).unwrap_or(data_end);
+            let hi = if syms[i].size > 0 {
+                (syms[i].addr + syms[i].size).min(next.max(syms[i].addr))
+            } else {
+                next
+            };
+            DataSym { name: syms[i].name.clone(), lo: syms[i].addr, hi: hi.max(syms[i].addr) }
+        })
+        .collect()
+}
+
+/// Run the dataflow passes over every lifted context of every function.
+pub fn run(module: &Module, cfg: &Cfg) -> Dataflow {
+    let mut glob = GlobalAcc {
+        data_syms: data_symbols(module),
+        written: BTreeSet::new(),
+        addr_escaped: BTreeSet::new(),
+        code_writes: Vec::new(),
+        records: Vec::new(),
+        data_lo: module.data_base,
+        data_hi: module.data_end(),
+        code_lo: module.code_base,
+        code_hi: module.code_end(),
+    };
+    let mut fn_facts: Vec<FnFacts> = vec![FnFacts::default(); cfg.funcs.len()];
+
+    for (fi, f) in cfg.funcs.iter().enumerate() {
+        for &leader in f.blocks.keys() {
+            let Ok(block) = lift_superblock(module, leader) else {
+                fn_facts[fi].poisoned = true;
+                continue;
+            };
+            let mut interp = Interp {
+                st: BlockState::new(block.n_temps),
+                facts: &mut fn_facts[fi],
+                glob: &mut glob,
+                func: fi,
+                flo: f.lo,
+                fhi: f.hi,
+                cur_pc: leader,
+            };
+            interp.run(&block);
+        }
+    }
+
+    let ro: Vec<RoRange> = glob
+        .data_syms
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| !glob.written.contains(i) && !glob.addr_escaped.contains(i) && s.hi > s.lo)
+        .map(|(_, s)| RoRange { name: s.name.clone(), lo: s.lo, hi: s.hi })
+        .collect();
+
+    // Meet across contexts: a pc is safe only if every record agrees.
+    let mut per_pc: BTreeMap<u64, bool> = BTreeMap::new();
+    for r in &glob.records {
+        let safe = match r.kind {
+            AccessKind::StackCanon(off) => {
+                !fn_facts[r.func].poisoned && !fn_facts[r.func].escaped.contains(&off)
+            }
+            AccessKind::StackAnon => !fn_facts[r.func].poisoned,
+            AccessKind::ConstAddr { addr, size, write } => {
+                !write && ro.iter().any(|s| addr >= s.lo && addr + size <= s.hi)
+            }
+            AccessKind::Unknown => false,
+        };
+        per_pc.entry(r.pc).and_modify(|s| *s &= safe).or_insert(safe);
+    }
+    let access_pcs = per_pc.len();
+    let safe_pcs: BTreeSet<u64> =
+        per_pc.into_iter().filter_map(|(pc, safe)| safe.then_some(pc)).collect();
+
+    Dataflow { fn_facts, ro, safe_pcs, code_writes: glob.code_writes, access_pcs }
+}

@@ -1,0 +1,398 @@
+//! Static binary analysis for TGA modules.
+//!
+//! This crate recovers a whole-program CFG and call graph from the
+//! decoded instruction stream ([`cfg`]), then runs conservative
+//! dataflow passes over the lifted `vex-ir` superblocks ([`dataflow`]):
+//! stack-slot escape analysis, stack-pointer protocol checking, and
+//! read-only classification of globals. The verdicts are exported as a
+//! [`StaticFacts`] table that Taskgrind consumes as an instrumentation
+//! filter — loads and stores statically proven thread-private (frame
+//! slots that never escape) or read-only (globals never written or
+//! address-taken) skip interval-tree recording entirely, shrinking the
+//! recording phase without changing any race verdict. The same facts
+//! power the `lint` CLI subcommand, which prints CFG statistics and
+//! the static findings with debug-info locations.
+
+use std::collections::BTreeSet;
+use tga::module::Module;
+
+pub mod cfg;
+pub mod dataflow;
+
+pub use cfg::{Cfg, CfgStats};
+pub use dataflow::{Dataflow, FnFacts, RoRange};
+
+/// What a static finding is about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A function not reachable from the entry point or any
+    /// address-taken function.
+    UnreachableFunction { name: String },
+    /// A frame slot whose address flows out of its frame (into memory,
+    /// a call, or a syscall); accesses to it stay instrumented.
+    EscapingStackSlot { func: String, offset: i64 },
+    /// The whole frame of a function had to be given up on (a stack
+    /// address flowed through arithmetic the analysis cannot follow).
+    FrameNotAnalyzable { func: String },
+    /// A return site whose reconstructed stack pointer does not restore
+    /// the caller's.
+    SpMismatchOnReturn { func: String },
+    /// A store with a constant target inside the text section.
+    WriteToReadOnly { target: u64 },
+}
+
+/// One static finding, anchored to a guest pc with its source location
+/// when the module has line info.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub kind: FindingKind,
+    pub addr: u64,
+    /// `file:line` from the module's line table, if present.
+    pub loc: Option<String>,
+}
+
+impl Finding {
+    fn describe(&self) -> String {
+        match &self.kind {
+            FindingKind::UnreachableFunction { name } => {
+                format!("function `{name}` is unreachable from the entry point")
+            }
+            FindingKind::EscapingStackSlot { func, offset } => {
+                format!("stack slot fp{offset:+} of `{func}` escapes its frame")
+            }
+            FindingKind::FrameNotAnalyzable { func } => {
+                format!("frame of `{func}` not analyzable; accesses stay instrumented")
+            }
+            FindingKind::SpMismatchOnReturn { func } => {
+                format!("`{func}` returns without restoring the caller's stack pointer")
+            }
+            FindingKind::WriteToReadOnly { target } => {
+                format!("store targets read-only text address {target:#x}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let loc = self.loc.as_deref().unwrap_or("<no debug info>");
+        write!(f, "{loc}: {} (at {:#x})", self.describe(), self.addr)
+    }
+}
+
+/// The exported verdict table: everything Taskgrind's instrumentation
+/// filter and the `lint` subcommand need.
+#[derive(Clone, Debug)]
+pub struct StaticFacts {
+    pub stats: CfgStats,
+    /// Guest pcs of loads/stores proven thread-private or read-only in
+    /// every lifted context that contains them.
+    pub safe_pcs: BTreeSet<u64>,
+    /// Globals classified read-only.
+    pub ro: Vec<RoRange>,
+    pub findings: Vec<Finding>,
+    /// Distinct access pcs seen (denominator for the filter rate).
+    pub access_pcs: usize,
+}
+
+impl StaticFacts {
+    /// May the access at `pc` skip recording? Conservative: unknown pcs
+    /// are always recorded, and atomics are never in `safe_pcs`.
+    pub fn is_safe_access(&self, pc: u64, _write: bool) -> bool {
+        self.safe_pcs.contains(&pc)
+    }
+
+    /// Human-readable lint report.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cfg: {} functions, {} blocks, {} edges, {} call edges, {} indirect exits\n",
+            s.functions, s.blocks, s.edges, s.call_edges, s.indirect_exits
+        ));
+        let pct = if self.access_pcs > 0 {
+            100.0 * self.safe_pcs.len() as f64 / self.access_pcs as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "facts: {}/{} access sites provably thread-private or read-only ({pct:.1}%)\n",
+            self.safe_pcs.len(),
+            self.access_pcs
+        ));
+        if self.ro.is_empty() {
+            out.push_str("read-only globals: none\n");
+        } else {
+            let names: Vec<&str> = self.ro.iter().map(|r| r.name.as_str()).collect();
+            out.push_str(&format!("read-only globals: {}\n", names.join(", ")));
+        }
+        out.push_str(&format!("findings: {}\n", self.findings.len()));
+        for f in &self.findings {
+            out.push_str(&format!("  {f}\n"));
+        }
+        out
+    }
+}
+
+/// Run the full static pipeline: CFG recovery, dataflow, findings.
+pub fn analyze(module: &Module) -> StaticFacts {
+    let cfg = cfg::recover(module);
+    let df = dataflow::run(module, &cfg);
+
+    let loc = |addr: u64| module.line_for(addr).map(|l| l.to_string());
+    let mut findings = Vec::new();
+    for &i in &cfg.unreachable {
+        let f = &cfg.funcs[i];
+        findings.push(Finding {
+            kind: FindingKind::UnreachableFunction { name: f.name.clone() },
+            addr: f.lo,
+            loc: loc(f.lo),
+        });
+    }
+    for (i, facts) in df.fn_facts.iter().enumerate() {
+        let fname = &cfg.funcs[i].name;
+        for &(offset, pc) in &facts.escape_sites {
+            // Non-negative offsets are the saved fp/ra slots and the
+            // caller's frame — conservatively escaped in almost every
+            // function, so reporting them is pure noise. They stay in
+            // the escape set (accesses remain instrumented); only named
+            // locals (negative fp offsets) become findings.
+            if offset >= 0 {
+                continue;
+            }
+            findings.push(Finding {
+                kind: FindingKind::EscapingStackSlot { func: fname.clone(), offset },
+                addr: pc,
+                loc: loc(pc),
+            });
+        }
+        if facts.poisoned {
+            findings.push(Finding {
+                kind: FindingKind::FrameNotAnalyzable { func: fname.clone() },
+                addr: cfg.funcs[i].lo,
+                loc: loc(cfg.funcs[i].lo),
+            });
+        }
+        for &pc in &facts.ret_mismatches {
+            findings.push(Finding {
+                kind: FindingKind::SpMismatchOnReturn { func: fname.clone() },
+                addr: pc,
+                loc: loc(pc),
+            });
+        }
+    }
+    for &(pc, target) in &df.code_writes {
+        findings.push(Finding {
+            kind: FindingKind::WriteToReadOnly { target },
+            addr: pc,
+            loc: loc(pc),
+        });
+    }
+    findings.sort_by_key(|f| f.addr);
+
+    StaticFacts {
+        stats: cfg.stats,
+        safe_pcs: df.safe_pcs,
+        ro: df.ro,
+        findings,
+        access_pcs: df.access_pcs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tga::module::{SymKind, Symbol, CODE_BASE};
+    use tga::INST_SIZE;
+
+    /// A program with one escaping local (`leaked`, passed by address)
+    /// and one that never leaves its frame (`kept`).
+    const SAMPLE: &str = r#"
+long sink;
+void taker(long *p) { *p = 1; }
+long sample() {
+  long kept = 7;
+  long leaked = 0;
+  taker(&leaked);
+  kept = kept + 2;
+  return kept + leaked;
+}
+int main() { return sample(); }
+"#;
+
+    fn sample_module() -> Module {
+        guest_rt::build_single("sample.c", SAMPLE).expect("sample compiles")
+    }
+
+    #[test]
+    fn function_boundaries_match_symbol_table() {
+        let m = sample_module();
+        let c = cfg::recover(&m);
+        for sym in m.symbols.iter().filter(|s| s.kind == SymKind::Func) {
+            let f = c
+                .funcs
+                .iter()
+                .find(|f| f.name == sym.name)
+                .unwrap_or_else(|| panic!("no cfg function for symbol {}", sym.name));
+            assert_eq!(f.lo, sym.addr, "{} starts at its symbol", sym.name);
+            assert!(f.blocks.contains_key(&f.lo), "{} has an entry block", sym.name);
+            for b in f.blocks.values() {
+                assert!(b.start >= f.lo && b.end <= f.hi, "{} block in range", sym.name);
+            }
+        }
+        assert!(c.stats.functions >= 3, "program + runtime functions recovered");
+    }
+
+    #[test]
+    fn successor_edges_are_consistent() {
+        let m = sample_module();
+        let c = cfg::recover(&m);
+        let mut edges = 0;
+        for f in &c.funcs {
+            for b in f.blocks.values() {
+                for &s in &b.succs {
+                    assert!(
+                        f.blocks.contains_key(&s),
+                        "successor {s:#x} of block {:#x} in `{}` is a block leader",
+                        b.start,
+                        f.name
+                    );
+                    edges += 1;
+                }
+                for &t in &b.calls {
+                    assert!(
+                        c.func_at(t).is_some() || !m.is_code_addr(t),
+                        "call target {t:#x} from `{}` resolves to a function",
+                        f.name
+                    );
+                }
+            }
+        }
+        assert!(edges > 0, "some intra-procedural edges exist");
+        assert_eq!(edges, c.stats.edges);
+    }
+
+    /// Line number (1-based) of the first SAMPLE line containing `pat`.
+    fn sample_line(pat: &str) -> u32 {
+        SAMPLE
+            .lines()
+            .position(|l| l.contains(pat))
+            .map(|i| i as u32 + 1)
+            .expect("pattern present in SAMPLE")
+    }
+
+    #[test]
+    fn escape_analysis_is_conservative_but_not_vacuous() {
+        let m = sample_module();
+        let facts = analyze(&m);
+
+        // `leaked` escapes: the analysis must report an escaping slot in
+        // `sample`, and the finding carries debug info.
+        let escape = facts
+            .findings
+            .iter()
+            .find(|f| {
+                matches!(&f.kind, FindingKind::EscapingStackSlot { func, .. } if func == "sample")
+            })
+            .expect("escaping local in `sample` is found");
+        assert!(escape.loc.is_some(), "escape finding has a file:line");
+
+        // `kept` never leaves the frame: at least one access on its
+        // assignment line is proven thread-private.
+        let kept_line = sample_line("kept = kept + 2");
+        let sym = m.symbol_by_name("sample").expect("sample symbol").clone();
+        let mut kept_pcs = Vec::new();
+        let mut pc = sym.addr;
+        while pc < sym.addr + sym.size {
+            if let Some(l) = m.line_for(pc) {
+                if l.line == kept_line {
+                    kept_pcs.push(pc);
+                }
+            }
+            pc += INST_SIZE;
+        }
+        assert!(!kept_pcs.is_empty(), "kept's line has instructions");
+        assert!(
+            kept_pcs.iter().any(|pc| facts.safe_pcs.contains(pc)),
+            "an access to the non-escaping local is proven private"
+        );
+        // Direct accesses to the escaped slot stay instrumented: no pc
+        // on `leaked`'s initialising store line is marked safe (the
+        // line's only access is the store into the escaping slot).
+        let leaked_line = sample_line("long leaked = 0");
+        let mut pc = sym.addr;
+        while pc < sym.addr + sym.size {
+            if let (Some(l), true) = (m.line_for(pc), facts.safe_pcs.contains(&pc)) {
+                assert_ne!(l.line, leaked_line, "no access to the escaping local is marked safe");
+            }
+            pc += INST_SIZE;
+        }
+    }
+
+    /// Hand-written assembly: a store into the text section must be
+    /// flagged, a read of a never-written global classified read-only.
+    #[test]
+    fn code_writes_flagged_and_ro_global_classified() {
+        let data_base = 0x20_0000u64;
+        let src = format!(
+            "main:\n\
+             addi sp, sp, -16\n\
+             st ra, 8(sp)\n\
+             st fp, 0(sp)\n\
+             add fp, sp, zero\n\
+             li t0, {code:#x}\n\
+             li t1, 1\n\
+             st t1, 0(t0)\n\
+             li t2, {data:#x}\n\
+             ld t3, 0(t2)\n\
+             add sp, fp, zero\n\
+             ld fp, 0(sp)\n\
+             ld ra, 8(sp)\n\
+             addi sp, sp, 16\n\
+             jalr zero, ra, 0\n",
+            code = CODE_BASE,
+            data = data_base,
+        );
+        let (code, _) = tga::asm::assemble(&src, CODE_BASE).unwrap();
+        let n = code.len() as u64;
+        let mut m = Module::new();
+        m.code = code;
+        m.entry = CODE_BASE;
+        m.data_base = data_base;
+        m.data = vec![0u8; 8];
+        m.symbols.push(Symbol {
+            name: "main".into(),
+            addr: CODE_BASE,
+            size: n * INST_SIZE,
+            kind: SymKind::Func,
+        });
+        m.symbols.push(Symbol {
+            name: "ro_word".into(),
+            addr: data_base,
+            size: 8,
+            kind: SymKind::Data,
+        });
+
+        let facts = analyze(&m);
+        assert!(
+            facts.findings.iter().any(|f| matches!(f.kind, FindingKind::WriteToReadOnly { target }
+                    if target == CODE_BASE)),
+            "store into the text section is flagged: {:?}",
+            facts.findings
+        );
+        assert!(
+            facts.ro.iter().any(|r| r.name == "ro_word"),
+            "never-written global is read-only: {:?}",
+            facts.ro
+        );
+        // The load of the read-only word is provably safe; the wild
+        // store is not.
+        let ld_pc = CODE_BASE + 8 * INST_SIZE;
+        let wild_st_pc = CODE_BASE + 6 * INST_SIZE;
+        assert!(facts.is_safe_access(ld_pc, false), "ro load may skip recording");
+        assert!(!facts.is_safe_access(wild_st_pc, true), "wild store stays recorded");
+        // Prologue link saves and the frame never escape here.
+        let save_ra_pc = CODE_BASE + INST_SIZE;
+        assert!(facts.is_safe_access(save_ra_pc, true), "link save is thread-private");
+    }
+}

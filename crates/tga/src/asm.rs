@@ -28,9 +28,29 @@ pub fn disassemble(inst: &Inst, addr: u64) -> String {
     let rs2 = reg::name(inst.rs2);
     let imm = inst.imm;
     match inst.op {
-        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::And | Op::Or | Op::Xor
-        | Op::Sll | Op::Srl | Op::Sra | Op::Slt | Op::Sltu | Op::Seq | Op::Sne | Op::Sle
-        | Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv | Op::Feq | Op::Flt | Op::Fle => {
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Sll
+        | Op::Srl
+        | Op::Sra
+        | Op::Slt
+        | Op::Sltu
+        | Op::Seq
+        | Op::Sne
+        | Op::Sle
+        | Op::Fadd
+        | Op::Fsub
+        | Op::Fmul
+        | Op::Fdiv
+        | Op::Feq
+        | Op::Flt
+        | Op::Fle => {
             format!("{addr:#08x}: {m} {rd}, {rs1}, {rs2}")
         }
         Op::Fsqrt | Op::Fneg | Op::Fabs | Op::Fcvtif | Op::Fcvtfi => {
@@ -131,10 +151,10 @@ pub fn assemble(src: &str, base: u64) -> Result<(Vec<Inst>, HashMap<String, u64>
         let imm = match p.imm {
             ImmSpec::Value(v) => v,
             ImmSpec::None => 0,
-            ImmSpec::Label(l) => *labels.get(&l).ok_or_else(|| AsmError {
-                line: p.line,
-                msg: format!("undefined label `{l}`"),
-            })? as i64,
+            ImmSpec::Label(l) => *labels
+                .get(&l)
+                .ok_or_else(|| AsmError { line: p.line, msg: format!("undefined label `{l}`") })?
+                as i64,
         };
         code.push(Inst::new(p.op, p.rd, p.rs1, p.rs2, imm));
     }
@@ -193,9 +213,29 @@ fn parse_inst(text: &str, line: usize) -> Result<PendingInst, AsmError> {
 
     let mut p = PendingInst { line, op, rd: 0, rs1: 0, rs2: 0, imm: ImmSpec::None };
     match op {
-        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::And | Op::Or | Op::Xor
-        | Op::Sll | Op::Srl | Op::Sra | Op::Slt | Op::Sltu | Op::Seq | Op::Sne | Op::Sle
-        | Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv | Op::Feq | Op::Flt | Op::Fle => {
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Sll
+        | Op::Srl
+        | Op::Sra
+        | Op::Slt
+        | Op::Sltu
+        | Op::Seq
+        | Op::Sne
+        | Op::Sle
+        | Op::Fadd
+        | Op::Fsub
+        | Op::Fmul
+        | Op::Fdiv
+        | Op::Feq
+        | Op::Flt
+        | Op::Fle => {
             want(3)?;
             p.rd = parse_reg(args[0])?;
             p.rs1 = parse_reg(args[1])?;
@@ -270,12 +310,60 @@ fn parse_inst(text: &str, line: usize) -> Result<PendingInst, AsmError> {
 }
 
 const ALL_OPS: &[Op] = &[
-    Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Rem, Op::And, Op::Or, Op::Xor, Op::Sll, Op::Srl,
-    Op::Sra, Op::Slt, Op::Sltu, Op::Seq, Op::Sne, Op::Sle, Op::Addi, Op::Andi, Op::Ori, Op::Xori,
-    Op::Slli, Op::Srli, Op::Srai, Op::Slti, Op::Li, Op::Fadd, Op::Fsub, Op::Fmul, Op::Fdiv,
-    Op::Fsqrt, Op::Fneg, Op::Fabs, Op::Feq, Op::Flt, Op::Fle, Op::Fcvtif, Op::Fcvtfi, Op::Ld,
-    Op::St, Op::Lb, Op::Sb, Op::Jal, Op::Jalr, Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu,
-    Op::Cas, Op::Amoadd, Op::Sys, Op::Clreq, Op::Halt, Op::Nop,
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::Rem,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Sll,
+    Op::Srl,
+    Op::Sra,
+    Op::Slt,
+    Op::Sltu,
+    Op::Seq,
+    Op::Sne,
+    Op::Sle,
+    Op::Addi,
+    Op::Andi,
+    Op::Ori,
+    Op::Xori,
+    Op::Slli,
+    Op::Srli,
+    Op::Srai,
+    Op::Slti,
+    Op::Li,
+    Op::Fadd,
+    Op::Fsub,
+    Op::Fmul,
+    Op::Fdiv,
+    Op::Fsqrt,
+    Op::Fneg,
+    Op::Fabs,
+    Op::Feq,
+    Op::Flt,
+    Op::Fle,
+    Op::Fcvtif,
+    Op::Fcvtfi,
+    Op::Ld,
+    Op::St,
+    Op::Lb,
+    Op::Sb,
+    Op::Jal,
+    Op::Jalr,
+    Op::Beq,
+    Op::Bne,
+    Op::Blt,
+    Op::Bge,
+    Op::Bltu,
+    Op::Cas,
+    Op::Amoadd,
+    Op::Sys,
+    Op::Clreq,
+    Op::Halt,
+    Op::Nop,
 ];
 
 #[cfg(test)]

@@ -90,10 +90,7 @@ pub struct Module {
 impl Module {
     /// Create an empty module at the default load address.
     pub fn new() -> Module {
-        Module {
-            code_base: CODE_BASE,
-            ..Module::default()
-        }
+        Module { code_base: CODE_BASE, ..Module::default() }
     }
 
     /// End address (exclusive) of the code section.
@@ -116,9 +113,26 @@ impl Module {
         self.tls_template.len() as u64 + self.tls_bss
     }
 
+    /// `[base, end)` address range of the text section.
+    pub fn code_range(&self) -> std::ops::Range<u64> {
+        self.code_base..self.code_end()
+    }
+
+    /// `[base, end)` address range of data + bss.
+    pub fn data_range(&self) -> std::ops::Range<u64> {
+        self.data_base..self.data_end()
+    }
+
+    /// Does `addr` fall inside data or bss?
+    pub fn is_data_addr(&self, addr: u64) -> bool {
+        self.data_range().contains(&addr)
+    }
+
     /// Does `addr` fall inside the text section?
     pub fn is_code_addr(&self, addr: u64) -> bool {
-        addr >= self.code_base && addr < self.code_end() && (addr - self.code_base).is_multiple_of(INST_SIZE)
+        addr >= self.code_base
+            && addr < self.code_end()
+            && (addr - self.code_base).is_multiple_of(INST_SIZE)
     }
 
     /// Fetch the instruction at `addr`, if it is a valid code address.
@@ -168,10 +182,7 @@ impl Module {
         if addr >= self.code_end() {
             return None;
         }
-        Some(SrcLoc {
-            file: self.files.get(li.file as usize)?.clone(),
-            line: li.line,
-        })
+        Some(SrcLoc { file: self.files.get(li.file as usize)?.clone(), line: li.line })
     }
 
     /// Serialize to the binary container format.

@@ -190,26 +190,13 @@ pub enum Stmt {
     Store { ty: Ty, addr: Atom, val: Atom },
     /// Atomic compare-and-swap:
     /// `dst = mem[addr]; if dst == expected { mem[addr] = new }`.
-    Cas {
-        dst: Temp,
-        addr: Atom,
-        expected: Atom,
-        new: Atom,
-    },
+    Cas { dst: Temp, addr: Atom, expected: Atom, new: Atom },
     /// Atomic fetch-and-add: `dst = mem[addr]; mem[addr] += val`.
     AtomicAdd { dst: Temp, addr: Atom, val: Atom },
     /// A dirty helper call (syscall / client request / tool callback).
-    Dirty {
-        call: DirtyCall,
-        args: Vec<Atom>,
-        dst: Option<Temp>,
-    },
+    Dirty { call: DirtyCall, args: Vec<Atom>, dst: Option<Temp> },
     /// Guarded side exit: if `guard != 0`, leave the block for `target`.
-    Exit {
-        guard: Atom,
-        target: u64,
-        kind: JumpKind,
-    },
+    Exit { guard: Atom, target: u64, kind: JumpKind },
 }
 
 /// An IR superblock: single entry, one unconditional final exit plus any
@@ -249,10 +236,7 @@ impl IrBlock {
 
     /// Number of guest instructions in the block (count of IMarks).
     pub fn guest_instrs(&self) -> usize {
-        self.stmts
-            .iter()
-            .filter(|s| matches!(s, Stmt::IMark { .. }))
-            .count()
+        self.stmts.iter().filter(|s| matches!(s, Stmt::IMark { .. })).count()
     }
 
     /// Iterate over the guest addresses of the instructions in this block.
@@ -342,14 +326,8 @@ mod tests {
         assert_eq!(eval_binop(BinOp::Add, 3, 4), Some(7));
         assert_eq!(eval_binop(BinOp::Sub, 3, 4), Some(u64::MAX));
         assert_eq!(eval_binop(BinOp::Mul, u64::MAX, 2), Some(u64::MAX - 1));
-        assert_eq!(
-            eval_binop(BinOp::DivS, (-9i64) as u64, 2),
-            Some((-4i64) as u64)
-        );
-        assert_eq!(
-            eval_binop(BinOp::RemS, (-9i64) as u64, 2),
-            Some((-1i64) as u64)
-        );
+        assert_eq!(eval_binop(BinOp::DivS, (-9i64) as u64, 2), Some((-4i64) as u64));
+        assert_eq!(eval_binop(BinOp::RemS, (-9i64) as u64, 2), Some((-1i64) as u64));
         assert_eq!(eval_binop(BinOp::DivS, 1, 0), None);
         assert_eq!(eval_binop(BinOp::RemS, 1, 0), None);
     }
@@ -368,10 +346,7 @@ mod tests {
     fn binop_shifts_mask_the_count() {
         assert_eq!(eval_binop(BinOp::Shl, 1, 64), Some(1));
         assert_eq!(eval_binop(BinOp::ShrU, 0x8000_0000_0000_0000, 63), Some(1));
-        assert_eq!(
-            eval_binop(BinOp::ShrS, 0x8000_0000_0000_0000, 63),
-            Some(u64::MAX)
-        );
+        assert_eq!(eval_binop(BinOp::ShrS, 0x8000_0000_0000_0000, 63), Some(u64::MAX));
     }
 
     #[test]
@@ -406,18 +381,9 @@ mod tests {
         assert_eq!(t0, Temp(0));
         assert_eq!(t1, Temp(1));
         assert_eq!(b.n_temps, 2);
-        b.stmts.push(Stmt::IMark {
-            addr: 0x1000,
-            len: 16,
-        });
-        b.stmts.push(Stmt::WrTmp {
-            dst: t0,
-            rhs: Rhs::Atom(Atom::imm(1)),
-        });
-        b.stmts.push(Stmt::IMark {
-            addr: 0x1010,
-            len: 16,
-        });
+        b.stmts.push(Stmt::IMark { addr: 0x1000, len: 16 });
+        b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Atom(Atom::imm(1)) });
+        b.stmts.push(Stmt::IMark { addr: 0x1010, len: 16 });
         assert_eq!(b.guest_instrs(), 2);
         assert_eq!(b.imarks().collect::<Vec<_>>(), vec![0x1000, 0x1010]);
     }

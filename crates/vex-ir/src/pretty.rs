@@ -43,13 +43,9 @@ pub fn stmt_to_string(s: &Stmt) -> String {
         Stmt::Store { ty, addr, val } => {
             format!("ST{:?}({}) = {}", ty, atom(addr), atom(val))
         }
-        Stmt::Cas { dst, addr, expected, new } => format!(
-            "t{} = CAS({}, exp={}, new={})",
-            dst.0,
-            atom(addr),
-            atom(expected),
-            atom(new)
-        ),
+        Stmt::Cas { dst, addr, expected, new } => {
+            format!("t{} = CAS({}, exp={}, new={})", dst.0, atom(addr), atom(expected), atom(new))
+        }
         Stmt::AtomicAdd { dst, addr, val } => {
             format!("t{} = ATOMIC-ADD({}, {})", dst.0, atom(addr), atom(val))
         }
@@ -67,12 +63,9 @@ pub fn stmt_to_string(s: &Stmt) -> String {
                 None => format!("DIRTY {}({})", name, args.join(", ")),
             }
         }
-        Stmt::Exit { guard, target, kind } => format!(
-            "if ({}) goto {{{}}} {:#x}",
-            atom(guard),
-            jump(kind),
-            target
-        ),
+        Stmt::Exit { guard, target, kind } => {
+            format!("if ({}) goto {{{}}} {:#x}", atom(guard), jump(kind), target)
+        }
     }
 }
 
@@ -100,10 +93,7 @@ mod tests {
         let t1 = b.new_temp();
         b.stmts.push(Stmt::IMark { addr: 0x40, len: 16 });
         b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Get { reg: 2 } });
-        b.stmts.push(Stmt::WrTmp {
-            dst: t1,
-            rhs: Rhs::Load { ty: Ty::I64, addr: t0.into() },
-        });
+        b.stmts.push(Stmt::WrTmp { dst: t1, rhs: Rhs::Load { ty: Ty::I64, addr: t0.into() } });
         b.stmts.push(Stmt::Dirty {
             call: DirtyCall::ToolMem { write: false },
             args: vec![t0.into(), Atom::imm(8)],

@@ -147,12 +147,7 @@ impl<'a> Checker<'a> {
 
 /// Check an IR block for structural defects. Returns all defects found.
 pub fn check(block: &IrBlock) -> Vec<SanityError> {
-    Checker {
-        block,
-        defined: vec![false; block.n_temps as usize],
-        errors: Vec::new(),
-    }
-    .run()
+    Checker { block, defined: vec![false; block.n_temps as usize], errors: Vec::new() }.run()
 }
 
 /// Panic with a readable message if the block is malformed.

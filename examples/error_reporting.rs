@@ -50,8 +50,5 @@ fn main() {
     print!("{}", tg.render_all());
 
     assert!(romp.n_reports > 0 && tg.n_reports() > 0);
-    assert!(
-        tg.render_all().contains("task.c:"),
-        "Taskgrind reports carry debug info"
-    );
+    assert!(tg.render_all().contains("task.c:"), "Taskgrind reports carry debug info");
 }

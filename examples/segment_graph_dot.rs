@@ -40,11 +40,8 @@ fn main() {
         if seg.writes.is_empty() {
             continue;
         }
-        let intervals: Vec<String> = seg
-            .writes
-            .iter()
-            .map(|(lo, hi)| format!("[{lo:#x}, {hi:#x})"))
-            .collect();
+        let intervals: Vec<String> =
+            seg.writes.iter().map(|(lo, hi)| format!("[{lo:#x}, {hi:#x})")).collect();
         eprintln!(
             "  segment {} ({}): {} accesses -> {} interval(s): {}",
             seg.id,

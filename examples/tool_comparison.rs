@@ -60,8 +60,5 @@ fn main() {
     if tg.n_reports() > 0 {
         println!("Taskgrind's report:\n{}", tg.render_all());
     }
-    assert!(
-        tg.n_reports() > 0,
-        "only the sibling-scoped analysis catches the non-sibling race"
-    );
+    assert!(tg.n_reports() > 0, "only the sibling-scoped analysis catches the non-sibling race");
 }

@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock harness with criterion's API shape:
+//! `benchmark_group` / `sample_size` / `bench_function` / `iter`, plus
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! runs one warmup iteration, then `sample_size` timed iterations, and
+//! prints min / mean / max per-iteration time. No statistics beyond
+//! that — the numbers in EXPERIMENTS.md are read from this output.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.default_sample_size;
+        run_one(&id.into(), n, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { sample_size, samples: Vec::new() };
+    f(&mut b);
+    let s = &b.samples;
+    if s.is_empty() {
+        println!("{id:<48} (no samples — did the closure call iter()?)");
+        return;
+    }
+    let min = s.iter().min().unwrap();
+    let max = s.iter().max().unwrap();
+    let mean = s.iter().sum::<Duration>() / s.len() as u32;
+    println!(
+        "{id:<48} [{} {} {}] {} samples",
+        fmt_dur(*min),
+        fmt_dur(mean),
+        fmt_dur(*max),
+        s.len()
+    );
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time the routine: one untimed warmup, then `sample_size` timed
+    /// runs (each sample is a single invocation).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        // 1 warmup + 3 samples
+        assert_eq!(ran, 4);
+    }
+}

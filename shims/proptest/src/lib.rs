@@ -1,0 +1,224 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! an optional `#![proptest_config(...)]` header, integer-range and
+//! tuple strategies, `prop::collection::vec`, and the `prop_assert*`
+//! macros. Sampling is deterministic (seeded per test name), there is
+//! no shrinking — a failing case panics with the sampled values via the
+//! normal assert message.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator for strategy sampling.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seed a generator from a test's name so every test draws an
+/// independent but reproducible stream.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325; // FNV-1a
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(h)
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The real crate separates strategies from value
+/// trees to support shrinking; without shrinking, sampling is enough.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Always-the-same-value strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let len = self.size.start + (rng.next_u64() % span) as usize;
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The test-definition macro. Each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` (the attribute is written by the caller, as in
+/// the real crate) that samples fresh arguments `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_sample_in_bounds() {
+        let mut rng = crate::test_rng("bounds");
+        for _ in 0..200 {
+            let v = (5u64..10).sample(&mut rng);
+            assert!((5..10).contains(&v));
+            let (a, b) = (0u8..4, 1usize..3).sample(&mut rng);
+            assert!(a < 4 && (1..3).contains(&b));
+            let xs = prop::collection::vec(0u32..7, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 7));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro wires config, strategies, and assertions together.
+        #[test]
+        fn macro_smoke(x in 0u64..100, ys in prop::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|&&y| y > 2).count(), 0, "ys={:?}", ys);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 1u32..50) {
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing is serialized — so the traits
+//! are markers and the derives (re-exported from the shim
+//! `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -63,14 +63,21 @@ int main(void) {
 fn ternary_incdec_compound() {
     assert_eq!(exit_of("int main(void){ int x = 5; return x > 3 ? 10 : 20; }"), 10);
     assert_eq!(
-        exit_of("int main(void){ int x = 5; int a = x++; int b = ++x; return a * 100 + b * 10 + x; }"),
+        exit_of(
+            "int main(void){ int x = 5; int a = x++; int b = ++x; return a * 100 + b * 10 + x; }"
+        ),
         577
     );
     assert_eq!(
-        exit_of("int main(void){ int x = 5; int a = x--; int b = --x; return a * 100 + b * 10 + x; }"),
+        exit_of(
+            "int main(void){ int x = 5; int a = x--; int b = --x; return a * 100 + b * 10 + x; }"
+        ),
         533
     );
-    assert_eq!(exit_of("int main(void){ int x = 4; x += 3; x -= 1; x *= 2; x /= 3; return x; }"), 4);
+    assert_eq!(
+        exit_of("int main(void){ int x = 4; x += 3; x -= 1; x *= 2; x /= 3; return x; }"),
+        4
+    );
 }
 
 #[test]
@@ -115,10 +122,7 @@ fn pointers_and_arrays() {
         exit_of("int main(void){ int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; return a[4] + a[3]; }"),
         25
     );
-    assert_eq!(
-        exit_of("int main(void){ int x = 1; int *p = &x; *p = 42; return x; }"),
-        42
-    );
+    assert_eq!(exit_of("int main(void){ int x = 1; int *p = &x; *p = 42; return x; }"), 42);
     assert_eq!(
         exit_of("int main(void){ int a[4]; a[0]=10; a[1]=20; a[2]=30; a[3]=40; int *p = a; p = p + 2; return *p + p[-1]; }"),
         50
@@ -140,21 +144,17 @@ fn chars_and_strings() {
         exit_of(r#"int main(void){ char *s = "hello"; return strlen(s) * 10 + (s[1] == 'e'); }"#),
         51
     );
-    assert_eq!(
-        exit_of(r#"int main(void){ return strcmp("abc", "abc") == 0 ? 1 : 0; }"#),
-        1
-    );
-    assert_eq!(
-        exit_of(r#"int main(void){ return strcmp("abd", "abc") > 0 ? 1 : 0; }"#),
-        1
-    );
+    assert_eq!(exit_of(r#"int main(void){ return strcmp("abc", "abc") == 0 ? 1 : 0; }"#), 1);
+    assert_eq!(exit_of(r#"int main(void){ return strcmp("abd", "abc") > 0 ? 1 : 0; }"#), 1);
     assert_eq!(exit_of(r#"int main(void){ return atoi("-321") + 421; }"#), 100);
     assert_eq!(
         exit_of("int main(void){ char buf[8]; memset(buf, 7, 8); return buf[0] + buf[7]; }"),
         14
     );
     assert_eq!(
-        exit_of(r#"int main(void){ char d[8]; memcpy(d, "xy", 3); return d[0] == 'x' && d[1] == 'y' && d[2] == 0; }"#),
+        exit_of(
+            r#"int main(void){ char d[8]; memcpy(d, "xy", 3); return d[0] == 'x' && d[1] == 'y' && d[2] == 0; }"#
+        ),
         1
     );
 }
@@ -167,25 +167,19 @@ fn doubles() {
     assert_eq!(exit_of("int main(void){ return (int) fabs(-7.5 * 2.0); }"), 15);
     assert_eq!(exit_of("int main(void){ double a = 0.1; double b = 0.2; return (a + b > 0.3 - 0.001) && (a + b < 0.3 + 0.001); }"), 1);
     // int/double mixing promotes
-    assert_eq!(exit_of("int main(void){ double d = 3; int i = 2; return (int) (d / i * 10.0); }"), 15);
+    assert_eq!(
+        exit_of("int main(void){ double d = 3; int i = 2; return (int) (d / i * 10.0); }"),
+        15
+    );
     // comparisons
     assert_eq!(exit_of("int main(void){ double x = 2.5; return (x > 2.0) + (x < 3.0) + (x == 2.5) + (x != 2.5); }"), 3);
 }
 
 #[test]
 fn globals_and_tls() {
-    assert_eq!(
-        exit_of("int g = 40; int h; int main(void){ h = 2; return g + h; }"),
-        42
-    );
-    assert_eq!(
-        exit_of("double gd = 2.5; int main(void){ return (int)(gd * 4.0); }"),
-        10
-    );
-    assert_eq!(
-        exit_of("_Thread_local int t = 9; int main(void){ t = t + 1; return t; }"),
-        10
-    );
+    assert_eq!(exit_of("int g = 40; int h; int main(void){ h = 2; return g + h; }"), 42);
+    assert_eq!(exit_of("double gd = 2.5; int main(void){ return (int)(gd * 4.0); }"), 10);
+    assert_eq!(exit_of("_Thread_local int t = 9; int main(void){ t = t + 1; return t; }"), 10);
     assert_eq!(
         exit_of("int arr[10]; int main(void){ for (int i = 0; i < 10; i++) arr[i] = i; return arr[9]; }"),
         9
@@ -194,10 +188,7 @@ fn globals_and_tls() {
 
 #[test]
 fn malloc_calloc_free() {
-    assert_eq!(
-        exit_of("int main(void){ long *p = (long*) calloc(4, 8); return p[0] + p[3]; }"),
-        0
-    );
+    assert_eq!(exit_of("int main(void){ long *p = (long*) calloc(4, 8); return p[0] + p[3]; }"), 0);
     assert_eq!(
         exit_of("int main(void){ int *p = (int*) malloc(64); p[7] = 13; free(p); int *q = (int*) malloc(64); return q == p; }"),
         1
@@ -206,8 +197,14 @@ fn malloc_calloc_free() {
 
 #[test]
 fn printf_formats() {
-    assert_eq!(stdout_of(r#"int main(void){ printf("%d|%5d|%x\n", 42, 1, 255); return 0; }"#), "42|1|ff\n");
-    assert_eq!(stdout_of(r#"int main(void){ printf("[%s][%c]", "ab", 'z'); return 0; }"#), "[ab][z]");
+    assert_eq!(
+        stdout_of(r#"int main(void){ printf("%d|%5d|%x\n", 42, 1, 255); return 0; }"#),
+        "42|1|ff\n"
+    );
+    assert_eq!(
+        stdout_of(r#"int main(void){ printf("[%s][%c]", "ab", 'z'); return 0; }"#),
+        "[ab][z]"
+    );
     assert_eq!(stdout_of(r#"int main(void){ printf("%f", 0.5); return 0; }"#), "0.500000");
     assert_eq!(stdout_of(r#"int main(void){ printf("%f", -12.0625); return 0; }"#), "-12.062500");
     assert_eq!(stdout_of(r#"int main(void){ printf("%d%%\n", 9); return 0; }"#), "9%\n");
@@ -225,16 +222,26 @@ fn argv_handling() {
         }"#,
     )
     .unwrap();
-    let r = Vm::new(m, Box::new(NulTool), VmConfig::default())
-        .run(ExecMode::Fast, &["10", "20", "12"]);
+    let r =
+        Vm::new(m, Box::new(NulTool), VmConfig::default()).run(ExecMode::Fast, &["10", "20", "12"]);
     assert_eq!(r.exit_code, Some(42));
 }
 
 #[test]
 fn sizeof_and_casts() {
-    assert_eq!(exit_of("int main(void){ return sizeof(int) + sizeof(char) + sizeof(double) + sizeof(int*); }"), 25);
+    assert_eq!(
+        exit_of(
+            "int main(void){ return sizeof(int) + sizeof(char) + sizeof(double) + sizeof(int*); }"
+        ),
+        25
+    );
     assert_eq!(exit_of("int main(void){ double d = 9.99; return (int) d; }"), 9);
-    assert_eq!(exit_of("int main(void){ int i = 7; double d = (double) i / 2.0; return (int)(d * 10.0); }"), 35);
+    assert_eq!(
+        exit_of(
+            "int main(void){ int i = 7; double d = (double) i / 2.0; return (int)(d * 10.0); }"
+        ),
+        35
+    );
     assert_eq!(exit_of("int main(void){ long x = 300; char c = x; return c & 255; }"), 44);
 }
 
@@ -252,10 +259,7 @@ fn shadowing_and_scopes() {
         exit_of("int main(void){ int x = 1; { int x = 2; { int x = 3; } x = x + 10; } return x; }"),
         1
     );
-    assert_eq!(
-        exit_of("int x = 100; int main(void){ int x = 5; return x; }"),
-        5
-    );
+    assert_eq!(exit_of("int x = 100; int main(void){ int x = 5; return x; }"), 5);
 }
 
 #[test]
@@ -279,13 +283,12 @@ fn division_by_zero_is_a_guest_fault() {
 
 #[test]
 fn compile_errors_are_located() {
-    let e = guest_rt::build_single("bad.c", "int main(void){ return undeclared_var; }")
-        .unwrap_err();
+    let e =
+        guest_rt::build_single("bad.c", "int main(void){ return undeclared_var; }").unwrap_err();
     assert!(e.msg.contains("unknown variable"), "{e}");
     assert_eq!(e.line, 1);
 
-    let e = guest_rt::build_single("bad.c", "int main(void){ nosuchfn(); return 0; }")
-        .unwrap_err();
+    let e = guest_rt::build_single("bad.c", "int main(void){ nosuchfn(); return 0; }").unwrap_err();
     assert!(e.msg.contains("unknown function"), "{e}");
 
     let e = guest_rt::build_single("bad.c", "int main(void){ return 1 +; }").unwrap_err();
@@ -469,8 +472,5 @@ int main(void) {
     let tsan = guest_rt::build_program_tsan(&[minicc::SourceFile::new("detach2.c", src)]).unwrap();
     let ts = tg_baselines::tasksan::run_tasksan(&tsan, &[], &vm);
     assert!(ts.run.ok());
-    assert!(
-        ts.found_race(),
-        "TaskSanitizer lacks detach support and should FP here"
-    );
+    assert!(ts.found_race(), "TaskSanitizer lacks detach support and should FP here");
 }

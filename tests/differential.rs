@@ -25,9 +25,7 @@ fn gen_program(seed: u64, n_stmts: usize) -> String {
         let shift_mask = if op == "<<" || op == ">>" { " & 15" } else { "" };
         match rng.random_range(0..4u32) {
             0 => body.push_str(&format!("    v{dst} = v{a} {op} (v{b}{shift_mask});\n")),
-            1 => body.push_str(&format!(
-                "    g[v{a} & 15] = v{b} {op} (v{dst}{shift_mask});\n"
-            )),
+            1 => body.push_str(&format!("    g[v{a} & 15] = v{b} {op} (v{dst}{shift_mask});\n")),
             2 => body.push_str(&format!("    v{dst} = g[v{a} & 15] + v{b};\n")),
             _ => body.push_str(&format!(
                 "    if (v{a} > v{b}) v{dst} = v{dst} + 1; else v{dst} = v{dst} - 1;\n"

@@ -137,8 +137,7 @@ fn all_four_tools_run_the_same_binary_family() {
     use minicc::SourceFile;
     let vm = VmConfig { nthreads: 2, ..Default::default() };
     let plain = guest_rt::build_single("task.c", LISTING_4).unwrap();
-    let tsan =
-        guest_rt::build_program_tsan(&[SourceFile::new("task.c", LISTING_4)]).unwrap();
+    let tsan = guest_rt::build_program_tsan(&[SourceFile::new("task.c", LISTING_4)]).unwrap();
 
     let tg = check_module(&plain, &[], &TaskgrindConfig { vm: vm.clone(), ..Default::default() });
     assert!(tg.n_reports() > 0);
