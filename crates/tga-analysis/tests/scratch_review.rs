@@ -1,0 +1,40 @@
+use tga::INST_SIZE;
+
+// A local whose address escapes only through a ternary join:
+// `p = c ? &x : &y` leaves the selected address in T0 across the
+// `jal zero` join block, where the analysis sees it as Other.
+const SRC: &str = r#"
+void taker(long *p) { *p = 1; }
+long f(int c) {
+  long x = 0;
+  long y = 0;
+  long *p = c ? &x : &y;
+  taker(p);
+  x = x + 1;
+  return x + y;
+}
+int main() { return f(1); }
+"#;
+
+#[test]
+fn ternary_selected_address_escape() {
+    let m = guest_rt::build_single("t.c", SRC).expect("compiles");
+    let facts = tga_analysis::analyze(&m);
+    // find line of "x = x + 1"
+    let line = SRC.lines().position(|l| l.contains("x = x + 1")).unwrap() as u32 + 1;
+    let sym = m.symbol_by_name("f").expect("f").clone();
+    let mut pcs = Vec::new();
+    let mut pc = sym.addr;
+    while pc < sym.addr + sym.size {
+        if let Some(l) = m.line_for(pc) {
+            if l.line == line { pcs.push(pc); }
+        }
+        pc += INST_SIZE;
+    }
+    println!("findings:");
+    for f in &facts.findings { println!("  {f}"); }
+    let pruned: Vec<_> = pcs.iter().filter(|pc| facts.safe_pcs.contains(pc)).collect();
+    println!("pcs on 'x = x + 1' line: {pcs:?}, pruned-as-safe: {pruned:?}");
+    assert!(pruned.is_empty(),
+        "accesses to x were classified thread-private even though &x escaped via ternary");
+}
