@@ -1,0 +1,60 @@
+//! Quick dispatch-cost profile: per-block metrics for the dbi_overhead
+//! kernels, chaining on vs. off. Not a benchmark — a scratch probe for
+//! sizing the dispatcher's share of nulgrind time.
+
+use grindcore::tool::NulTool;
+use grindcore::{ExecMode, Vm, VmConfig};
+use std::time::Instant;
+
+const KERNEL: &str = r#"
+int main(void) {
+    long n = 20000;
+    long *a = (long*) malloc(n * 8);
+    long i = 0;
+    while (i < n) { a[i] = i; i = i + 1; }
+    long sum = 0;
+    i = 0;
+    while (i < n) { sum = sum + a[i] * 3 - (a[i] >> 1); i = i + 1; }
+    return sum & 127;
+}
+"#;
+
+fn main() {
+    for (name, src, args) in [
+        ("kernel", KERNEL.to_string(), vec![]),
+        (
+            "lulesh",
+            tg_lulesh::LULESH_MC.to_string(),
+            vec!["-s", "10", "-tel", "2", "-tnl", "2", "-i", "4"],
+        ),
+    ] {
+        let m = guest_rt::build_single("prog.c", &src).unwrap();
+        for chaining in [true, false] {
+            let cfg = VmConfig { chaining, ..Default::default() };
+            let mut dt = f64::MAX;
+            let mut last = None;
+            for _ in 0..7 {
+                let t0 = Instant::now();
+                let r =
+                    Vm::new(m.clone(), Box::new(NulTool), cfg.clone()).run(ExecMode::Dbi, &args);
+                dt = dt.min(t0.elapsed().as_secs_f64());
+                last = Some(r);
+            }
+            let r = last.unwrap();
+            assert!(r.ok());
+            let mm = &r.metrics;
+            println!(
+                "{name} chain={chaining}: {:.1}ms | {} instrs {} blocks ({:.1} i/b) | hits {} ibtc {} probes {} transl {} | {:.0} ns/block",
+                dt * 1e3,
+                mm.instrs,
+                mm.blocks,
+                mm.instrs as f64 / mm.blocks as f64,
+                mm.dispatch.chain_hits,
+                mm.dispatch.ibtc_hits,
+                mm.dispatch.probes,
+                mm.translations,
+                dt * 1e9 / mm.blocks as f64
+            );
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //!   --no-ignore-list     record runtime-internal accesses too
 //!   --keep-free          do not replace the allocator (IV-B off)
 //!   --no-static-filter   do not prune instrumentation with static facts
+//!   --no-chaining        disable superblock chaining (slow dispatch)
+//!   --cache-blocks=<n>   translation-cache capacity in superblocks
 //!   --no-suppress        disable all analysis-time suppression
 //!   --suppressions=<f>   Valgrind-style report suppression file
 //!   --parallel-analysis=<n>  analysis host threads (default: 1)
@@ -31,7 +33,8 @@ fn usage() -> ! {
     eprintln!(
         "              [--random-sched] [--no-ignore-list] [--keep-free] [--no-static-filter]"
     );
-    eprintln!("              [--no-suppress] [--parallel-analysis=N] [--dot=FILE] [--disasm]");
+    eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
+    eprintln!("              [--parallel-analysis=N] [--dot=FILE] [--disasm]");
     eprintln!("              <program.c> [-- args...]");
     eprintln!("       tgrind lint <program.c>");
     std::process::exit(2)
@@ -46,6 +49,8 @@ struct Opts {
     no_ignore: bool,
     keep_free: bool,
     no_static_filter: bool,
+    no_chaining: bool,
+    cache_blocks: Option<usize>,
     no_suppress: bool,
     analysis_threads: usize,
     suppressions: Option<String>,
@@ -65,6 +70,8 @@ fn parse_args() -> Opts {
         no_ignore: false,
         keep_free: false,
         no_static_filter: false,
+        no_chaining: false,
+        cache_blocks: None,
         no_suppress: false,
         analysis_threads: 1,
         suppressions: None,
@@ -92,6 +99,10 @@ fn parse_args() -> Opts {
             o.keep_free = true;
         } else if a == "--no-static-filter" {
             o.no_static_filter = true;
+        } else if a == "--no-chaining" {
+            o.no_chaining = true;
+        } else if let Some(v) = a.strip_prefix("--cache-blocks=") {
+            o.cache_blocks = Some(v.parse().unwrap_or_else(|_| usage()));
         } else if a == "--no-suppress" {
             o.no_suppress = true;
         } else if let Some(v) = a.strip_prefix("--parallel-analysis=") {
@@ -146,6 +157,8 @@ fn main() -> ExitCode {
         nthreads: o.threads,
         seed: o.seed,
         sched: if o.random { SchedPolicy::Random } else { SchedPolicy::RoundRobin },
+        chaining: !o.no_chaining,
+        cache_blocks: o.cache_blocks.unwrap_or_else(|| VmConfig::default().cache_blocks),
         ..Default::default()
     };
     let guest_args: Vec<&str> = o.guest_args.iter().map(|s| s.as_str()).collect();
@@ -262,6 +275,17 @@ fn main() -> ExitCode {
                 r.sites_pruned,
                 r.sites_instrumented,
                 r.accesses_recorded,
+            );
+            let d = &r.dispatch;
+            eprintln!(
+                "== dispatch: chaining {} | {} chain hit(s) ({} ibtc), {} probe(s), {} translation(s), {} eviction(s), {} discard(s)",
+                if o.no_chaining { "off" } else { "on" },
+                d.chain_hits,
+                d.ibtc_hits,
+                d.probes,
+                r.run.metrics.translations,
+                d.evictions,
+                d.discarded_blocks,
             );
             if r.run.deadlock {
                 eprintln!("== guest deadlocked");

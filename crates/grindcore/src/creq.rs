@@ -54,6 +54,12 @@ pub const CRITICAL_EXIT: u64 = 0x1019;
 /// tasks as semantically deferrable. args: `[enable]`.
 pub const USER_DEFERRABLE: u64 = 0x1050;
 
+/// Core request (handled by grindcore itself, never forwarded to the
+/// tool): invalidate every translation overlapping `[addr, addr+len)`.
+/// args: `[addr, len]`. The Valgrind `DISCARD_TRANSLATIONS` analog,
+/// used after self-modifying or unmapped code.
+pub const DISCARD_TRANSLATIONS: u64 = 0x1060;
+
 /// Task flag bits passed to [`TASK_CREATE`].
 pub mod task_flags {
     /// The runtime will execute the task immediately on the creating
@@ -100,6 +106,7 @@ pub const ALL: &[u64] = &[
     CRITICAL_ENTER,
     CRITICAL_EXIT,
     USER_DEFERRABLE,
+    DISCARD_TRANSLATIONS,
 ];
 
 #[cfg(test)]

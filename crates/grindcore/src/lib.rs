@@ -24,15 +24,17 @@
 //!   compile-time-instrumented Archer baseline runs "natively".
 
 pub mod creq;
+pub mod flat;
 pub mod lift;
 pub mod mem;
 pub mod opt;
 pub mod syscalls;
+pub mod tcache;
 pub mod tool;
 pub mod vm;
 
 pub use tool::{BlockMeta, FnReplacement, Tool};
 pub use vm::{
     AddrClass, ExecMode, Metrics, RunResult, SchedPolicy, ThreadStatus, Tid, Vm, VmConfig, VmCore,
-    VmError,
+    VmError, VmStats,
 };

@@ -6,18 +6,106 @@
 //! top of the address space, code near the bottom) cost only what is
 //! actually used. `footprint` reports resident bytes for the memory
 //! columns of Table II / Fig. 4.
+//!
+//! Layout: pages live in an append-only arena (`Vec<Box<[u8]>>`) and a
+//! hash map translates page number → arena index. Pages are never
+//! freed, so an arena index is stable for the life of the VM — which
+//! makes the one-entry *lookaside* sound: the last page touched is
+//! remembered as `(pno, index)` and revalidated by a single compare,
+//! turning the hash probe into the uncommon path. Guest accesses are
+//! strongly page-local (stack frames, linear array walks), so this is
+//! where most of the interpreter's memory time goes.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BITS: u64 = 12;
 /// Guest page size in bytes.
 pub const PAGE_SIZE: u64 = 1 << PAGE_BITS;
 const OFF_MASK: u64 = PAGE_SIZE - 1;
+/// No guest address maps to this page number (pno is a 52-bit value),
+/// so it marks the lookaside as empty.
+const NO_PAGE: u64 = u64::MAX;
+
+/// Multiplicative hasher for page numbers. Every lookaside miss probes
+/// the page table, so the default SipHash is pure overhead here: keys
+/// are page numbers we control, not attacker-supplied data.
+#[derive(Default)]
+pub struct PnoHasher(u64);
+
+impl Hasher for PnoHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PageMap = HashMap<u64, u32, BuildHasherDefault<PnoHasher>>;
+
+/// A per-site inline cache: the page the site resolved to last time, as
+/// `(pno, arena index)`. The flat compiler allocates one per load/store
+/// op, so a site that walks an array and a site that touches the stack
+/// each keep their own page hot instead of thrashing the global
+/// lookaside. Stable arena indices make a filled entry valid forever.
+pub struct PageIc {
+    slot: Cell<(u64, u32)>,
+}
+
+impl PageIc {
+    pub fn new() -> PageIc {
+        PageIc { slot: Cell::new((NO_PAGE, 0)) }
+    }
+}
+
+impl Default for PageIc {
+    fn default() -> PageIc {
+        PageIc::new()
+    }
+}
+
+impl Clone for PageIc {
+    /// Cloning resets the cache: a copied block re-warms its own sites.
+    fn clone(&self) -> PageIc {
+        PageIc::new()
+    }
+}
+
+impl std::fmt::Debug for PageIc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p, i) = self.slot.get();
+        if p == NO_PAGE {
+            write!(f, "PageIc(empty)")
+        } else {
+            write!(f, "PageIc({p:#x}→{i})")
+        }
+    }
+}
 
 /// Sparse paged guest address space.
-#[derive(Default)]
 pub struct GuestMemory {
-    pages: HashMap<u64, Box<[u8]>>,
+    /// Page number → arena index.
+    map: PageMap,
+    /// The pages themselves; append-only, indices never move.
+    arena: Vec<Box<[u8]>>,
+    /// Last page resolved: `(pno, arena index)`. A `Cell` so read paths
+    /// can refresh it through `&self`; the VM is single-threaded.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for GuestMemory {
+    fn default() -> GuestMemory {
+        GuestMemory { map: PageMap::default(), arena: Vec::new(), last: Cell::new((NO_PAGE, 0)) }
+    }
 }
 
 impl GuestMemory {
@@ -27,11 +115,35 @@ impl GuestMemory {
 
     /// Resident bytes (allocated pages × page size).
     pub fn footprint(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.arena.len() as u64 * PAGE_SIZE
     }
 
-    fn page_mut(&mut self, pno: u64) -> &mut [u8] {
-        self.pages.entry(pno).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    /// Arena index of `pno`, if the page exists. Refreshes the lookaside.
+    #[inline]
+    fn page_index(&self, pno: u64) -> Option<u32> {
+        let (lp, li) = self.last.get();
+        if lp == pno {
+            return Some(li);
+        }
+        let i = *self.map.get(&pno)?;
+        self.last.set((pno, i));
+        Some(i)
+    }
+
+    /// Arena index of `pno`, allocating the page on first touch.
+    #[inline]
+    fn page_index_mut(&mut self, pno: u64) -> u32 {
+        let (lp, li) = self.last.get();
+        if lp == pno {
+            return li;
+        }
+        let arena = &mut self.arena;
+        let i = *self.map.entry(pno).or_insert_with(|| {
+            arena.push(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            (arena.len() - 1) as u32
+        });
+        self.last.set((pno, i));
+        i
     }
 
     /// Read `dst.len()` bytes from `addr`, crossing pages as needed.
@@ -41,8 +153,10 @@ impl GuestMemory {
             let pno = addr >> PAGE_BITS;
             let off = (addr & OFF_MASK) as usize;
             let n = usize::min(dst.len() - done, PAGE_SIZE as usize - off);
-            match self.pages.get(&pno) {
-                Some(p) => dst[done..done + n].copy_from_slice(&p[off..off + n]),
+            match self.page_index(pno) {
+                Some(i) => {
+                    dst[done..done + n].copy_from_slice(&self.arena[i as usize][off..off + n])
+                }
                 None => dst[done..done + n].fill(0),
             }
             done += n;
@@ -57,34 +171,136 @@ impl GuestMemory {
             let pno = addr >> PAGE_BITS;
             let off = (addr & OFF_MASK) as usize;
             let n = usize::min(src.len() - done, PAGE_SIZE as usize - off);
-            self.page_mut(pno)[off..off + n].copy_from_slice(&src[done..done + n]);
+            let i = self.page_index_mut(pno);
+            self.arena[i as usize][off..off + n].copy_from_slice(&src[done..done + n]);
             done += n;
             addr = addr.wrapping_add(n as u64);
         }
     }
 
-    /// Read a little-endian u64.
+    /// Read a little-endian u64. Fast path: the access stays within one
+    /// page, which is every aligned access and nearly every real one.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
+        let off = (addr & OFF_MASK) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            return match self.page_index(addr >> PAGE_BITS) {
+                Some(i) => {
+                    u64::from_le_bytes(self.arena[i as usize][off..off + 8].try_into().unwrap())
+                }
+                None => 0,
+            };
+        }
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
         u64::from_le_bytes(b)
     }
 
-    /// Write a little-endian u64.
+    /// Write a little-endian u64 (single-page fast path as for reads).
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, v: u64) {
+        let off = (addr & OFF_MASK) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            let i = self.page_index_mut(addr >> PAGE_BITS);
+            self.arena[i as usize][off..off + 8].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
         self.write(addr, &v.to_le_bytes());
     }
 
     /// Read one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        let mut b = [0u8; 1];
-        self.read(addr, &mut b);
-        b[0]
+        match self.page_index(addr >> PAGE_BITS) {
+            Some(i) => self.arena[i as usize][(addr & OFF_MASK) as usize],
+            None => 0,
+        }
     }
 
     /// Write one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) {
-        self.write(addr, &[v]);
+        let i = self.page_index_mut(addr >> PAGE_BITS);
+        self.arena[i as usize][(addr & OFF_MASK) as usize] = v;
+    }
+
+    /// [`Self::read_u64`] through a per-site inline cache.
+    #[inline]
+    pub fn read_u64_ic(&self, addr: u64, ic: &PageIc) -> u64 {
+        let off = (addr & OFF_MASK) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            let pno = addr >> PAGE_BITS;
+            let (p, i) = ic.slot.get();
+            let i = if p == pno {
+                i
+            } else {
+                match self.map.get(&pno) {
+                    Some(&i) => {
+                        ic.slot.set((pno, i));
+                        i
+                    }
+                    None => return 0,
+                }
+            };
+            return u64::from_le_bytes(self.arena[i as usize][off..off + 8].try_into().unwrap());
+        }
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// [`Self::write_u64`] through a per-site inline cache.
+    #[inline]
+    pub fn write_u64_ic(&mut self, addr: u64, v: u64, ic: &PageIc) {
+        let off = (addr & OFF_MASK) as usize;
+        if off <= PAGE_SIZE as usize - 8 {
+            let pno = addr >> PAGE_BITS;
+            let (p, i) = ic.slot.get();
+            let i = if p == pno {
+                i
+            } else {
+                let i = self.page_index_mut(pno);
+                ic.slot.set((pno, i));
+                i
+            };
+            self.arena[i as usize][off..off + 8].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// [`Self::read_u8`] through a per-site inline cache.
+    #[inline]
+    pub fn read_u8_ic(&self, addr: u64, ic: &PageIc) -> u8 {
+        let pno = addr >> PAGE_BITS;
+        let (p, i) = ic.slot.get();
+        let i = if p == pno {
+            i
+        } else {
+            match self.map.get(&pno) {
+                Some(&i) => {
+                    ic.slot.set((pno, i));
+                    i
+                }
+                None => return 0,
+            }
+        };
+        self.arena[i as usize][(addr & OFF_MASK) as usize]
+    }
+
+    /// [`Self::write_u8`] through a per-site inline cache.
+    #[inline]
+    pub fn write_u8_ic(&mut self, addr: u64, v: u8, ic: &PageIc) {
+        let pno = addr >> PAGE_BITS;
+        let (p, i) = ic.slot.get();
+        let i = if p == pno {
+            i
+        } else {
+            let i = self.page_index_mut(pno);
+            ic.slot.set((pno, i));
+            i
+        };
+        self.arena[i as usize][(addr & OFF_MASK) as usize] = v;
     }
 
     /// Read a NUL-terminated string (capped at `max` bytes).
@@ -143,6 +359,23 @@ mod tests {
         m.write_u64(0x1_0000, 1); // "code"
         m.write_u64(0x7fff_0000_0000, 2); // "stack"
         assert_eq!(m.footprint(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn lookaside_tracks_page_switches() {
+        let mut m = GuestMemory::new();
+        m.write_u64(0x1000, 1);
+        m.write_u64(0x9000, 2);
+        // Alternate between the two pages: every access revalidates the
+        // lookaside, so stale hits would return the wrong page's data.
+        for _ in 0..4 {
+            assert_eq!(m.read_u64(0x1000), 1);
+            assert_eq!(m.read_u64(0x9000), 2);
+            assert_eq!(m.read_u64(0x5000), 0, "untouched page stays zero");
+        }
+        m.write_u64(0x5000, 3); // allocates; lookaside now points at it
+        assert_eq!(m.read_u64(0x5000), 3);
+        assert_eq!(m.read_u64(0x1000), 1);
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! The bounded translation cache and superblock-chaining state.
+//!
+//! Valgrind keeps translated superblocks in a fixed-size code cache and
+//! *chains* them: once a block's exit has resolved to another cached
+//! translation, the exit jumps there directly instead of going back
+//! through the dispatcher's hash lookup (Cabecinhas et al., "Optimizing
+//! Binary Code Produced by Valgrind"). This module reproduces that
+//! machinery for the IR interpreter:
+//!
+//! * translations live in a slab of capacity-bounded **slots**; a
+//!   [`CacheRef`] (slot + generation) names one and can be validated in
+//!   O(1) even after the slot was recycled;
+//! * each cached block carries one **chain-link** per exit (side exits
+//!   in order, fallthrough last) plus the reverse *pred* edges needed to
+//!   **unchain** it when either endpoint dies;
+//! * indirect transfers (returns, computed jumps) go through a small
+//!   direct-mapped **indirect-branch target cache** keyed on
+//!   `(site, target)`, validated by generation so stale entries miss
+//!   instead of dangling;
+//! * eviction is **LRU-clock**: every dispatch sets the block's
+//!   reference bit, the clock hand sweeps bits clear and evicts the
+//!   first unreferenced block, unchaining it from all neighbours;
+//! * [`TransCache::discard_range`] invalidates every translation
+//!   overlapping a guest address range — the self-modifying-code /
+//!   `DISCARD_TRANSLATIONS` client-request path.
+//!
+//! The invariant the chaining protocol maintains: **a link, pred edge,
+//! or IBTC entry never outlives its target unvalidated.** Links and pred
+//! edges are eagerly cleared on eviction; IBTC entries are lazily
+//! invalidated by the generation check.
+
+use crate::flat::FlatBlock;
+use std::collections::HashMap;
+use std::rc::Rc;
+use vex_ir::IrBlock;
+
+/// Number of entries in the indirect-branch target cache (power of two).
+const IBTC_ENTRIES: usize = 1024;
+
+/// A validated handle to a cached translation: slot index plus the
+/// generation the slot had when the handle was issued. A handle is live
+/// iff the slot is occupied and the generations match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheRef {
+    pub slot: u32,
+    pub gen: u32,
+}
+
+/// Counters produced by eviction/invalidation, folded into
+/// [`crate::vm::VmStats`] by the VM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvictStats {
+    /// Blocks removed from the cache.
+    pub evicted: u64,
+    /// Chain links (incoming or outgoing) severed.
+    pub unchained: u64,
+    /// Approximate bytes released.
+    pub bytes: u64,
+}
+
+struct CachedBlock {
+    ir: Rc<IrBlock>,
+    /// Flat compiled form, present iff the VM runs the chained engine
+    /// (compiled at translation time, executed on every dispatch).
+    flat: Option<Rc<FlatBlock>>,
+    base: u64,
+    /// One past the last guest byte the block's instructions cover.
+    end: u64,
+    /// Per-exit successor links: side exits in statement order, the
+    /// fallthrough exit last.
+    links: Box<[Option<CacheRef>]>,
+    /// Reverse edges: (pred slot, pred exit ordinal) of every link that
+    /// points at this block. Needed to unchain on eviction.
+    preds: Vec<(u32, u32)>,
+    /// LRU-clock reference bit, set on every dispatch to this block.
+    referenced: bool,
+    /// Approximate host bytes of the translation.
+    bytes: u64,
+}
+
+#[derive(Clone, Copy)]
+struct IbtcEntry {
+    site: u64,
+    target: u64,
+    dst: CacheRef,
+}
+
+pub struct TransCache {
+    slots: Vec<Option<CachedBlock>>,
+    /// Per-slot generation, bumped on eviction; survives slot recycling.
+    gens: Vec<u32>,
+    /// Dispatcher lookup: guest base pc → slot.
+    map: HashMap<u64, u32>,
+    free: Vec<u32>,
+    capacity: usize,
+    len: usize,
+    hand: usize,
+    ibtc: Vec<Option<IbtcEntry>>,
+}
+
+impl TransCache {
+    pub fn new(capacity: usize) -> TransCache {
+        TransCache {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            map: HashMap::new(),
+            free: Vec::new(),
+            capacity: capacity.max(2),
+            len: 0,
+            hand: 0,
+            ibtc: vec![None; IBTC_ENTRIES],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn is_live(&self, r: CacheRef) -> bool {
+        let i = r.slot as usize;
+        i < self.slots.len() && self.gens[i] == r.gen && self.slots[i].is_some()
+    }
+
+    /// Dispatcher probe: find the translation for `pc` and mark it
+    /// recently used.
+    pub fn lookup(&mut self, pc: u64) -> Option<CacheRef> {
+        let slot = *self.map.get(&pc)?;
+        let b = self.slots[slot as usize].as_mut().expect("map points at empty slot");
+        b.referenced = true;
+        Some(CacheRef { slot, gen: self.gens[slot as usize] })
+    }
+
+    /// Chain-hit path: validate `r` against `pc` and hand out the IR
+    /// without touching the hash map. Returns `None` when the handle is
+    /// stale (evicted/discarded) or resolves to a different block.
+    pub fn take_for(&mut self, r: CacheRef, pc: u64) -> Option<Rc<IrBlock>> {
+        if !self.is_live(r) {
+            return None;
+        }
+        let b = self.slots[r.slot as usize].as_mut().unwrap();
+        if b.base != pc {
+            return None;
+        }
+        b.referenced = true;
+        Some(b.ir.clone())
+    }
+
+    /// [`Self::take_for`] for the chained engine: hands out the flat
+    /// compiled form instead of the IR.
+    pub fn take_flat_for(&mut self, r: CacheRef, pc: u64) -> Option<Rc<FlatBlock>> {
+        if !self.is_live(r) {
+            return None;
+        }
+        let b = self.slots[r.slot as usize].as_mut().unwrap();
+        if b.base != pc {
+            return None;
+        }
+        b.referenced = true;
+        b.flat.clone()
+    }
+
+    /// The IR of a handle known to be live (fresh from `lookup`/`insert`).
+    pub fn ir_of(&self, r: CacheRef) -> Rc<IrBlock> {
+        self.slots[r.slot as usize].as_ref().expect("stale CacheRef").ir.clone()
+    }
+
+    /// The flat form of a live handle; panics if the block was inserted
+    /// without one (i.e. by the reference engine).
+    pub fn flat_of(&self, r: CacheRef) -> Rc<FlatBlock> {
+        self.slots[r.slot as usize]
+            .as_ref()
+            .expect("stale CacheRef")
+            .flat
+            .clone()
+            .expect("block cached without a flat form")
+    }
+
+    /// Number of link slots (side exits + fallthrough) of a live block.
+    pub fn n_exits(&self, r: CacheRef) -> u32 {
+        self.slots[r.slot as usize].as_ref().expect("stale CacheRef").links.len() as u32
+    }
+
+    /// Insert a fresh translation, evicting one block if at capacity.
+    /// `flat` carries the chained engine's compiled form (None under
+    /// the reference engine).
+    pub fn insert(
+        &mut self,
+        ir: Rc<IrBlock>,
+        flat: Option<Rc<FlatBlock>>,
+        bytes: u64,
+    ) -> (CacheRef, EvictStats) {
+        let mut ev = EvictStats::default();
+        if self.len >= self.capacity {
+            self.evict_one(&mut ev);
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.gens.push(0);
+            (self.slots.len() - 1) as u32
+        });
+        let n_links = ir.side_exit_count() + 1;
+        let (base, end) = ir.extent();
+        self.map.insert(base, slot);
+        self.slots[slot as usize] = Some(CachedBlock {
+            ir,
+            flat,
+            base,
+            end,
+            links: vec![None; n_links].into_boxed_slice(),
+            preds: Vec::new(),
+            referenced: true,
+            bytes,
+        });
+        self.len += 1;
+        (CacheRef { slot, gen: self.gens[slot as usize] }, ev)
+    }
+
+    /// The whole chain-hit fast path in one pass: follow the link for
+    /// exit `exit` of `from` to a live block based at `pc`, marking it
+    /// recently used. One validation walk — no hash probe anywhere.
+    /// Hands out the flat form (chained engine only).
+    #[inline]
+    pub fn follow(
+        &mut self,
+        from: CacheRef,
+        exit: u32,
+        pc: u64,
+    ) -> Option<(CacheRef, Rc<FlatBlock>)> {
+        let fi = from.slot as usize;
+        if fi >= self.slots.len() || self.gens[fi] != from.gen {
+            return None;
+        }
+        let l = (*self.slots[fi].as_ref()?.links.get(exit as usize)?)?;
+        let ti = l.slot as usize;
+        if self.gens[ti] != l.gen {
+            return None;
+        }
+        let b = self.slots[ti].as_mut()?;
+        if b.base != pc {
+            return None;
+        }
+        b.referenced = true;
+        Some((l, b.flat.clone()?))
+    }
+
+    /// The existing chain link for exit `exit` of `from`, if both ends
+    /// are still live.
+    pub fn link_of(&self, from: CacheRef, exit: u32) -> Option<CacheRef> {
+        if !self.is_live(from) {
+            return None;
+        }
+        let l = (*self.slots[from.slot as usize].as_ref().unwrap().links.get(exit as usize)?)?;
+        if self.is_live(l) {
+            Some(l)
+        } else {
+            None
+        }
+    }
+
+    /// Patch exit `exit` of `from` to jump directly to `to`. Returns
+    /// `false` when either handle is stale or the link already exists.
+    pub fn link(&mut self, from: CacheRef, exit: u32, to: CacheRef) -> bool {
+        if !self.is_live(from) || !self.is_live(to) {
+            return false;
+        }
+        {
+            let fb = self.slots[from.slot as usize].as_mut().unwrap();
+            let Some(slot_ref) = fb.links.get_mut(exit as usize) else { return false };
+            match *slot_ref {
+                Some(old) if old == to => return false,
+                Some(old) => {
+                    *slot_ref = Some(to);
+                    // Re-link: drop the stale pred edge from the old target.
+                    if let Some(ob) = self.slots[old.slot as usize].as_mut() {
+                        ob.preds.retain(|&(p, e)| !(p == from.slot && e == exit));
+                    }
+                }
+                None => *slot_ref = Some(to),
+            }
+        }
+        self.slots[to.slot as usize].as_mut().unwrap().preds.push((from.slot, exit));
+        true
+    }
+
+    fn ibtc_index(site: u64, target: u64) -> usize {
+        let h = (site ^ target.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 54) as usize & (IBTC_ENTRIES - 1)
+    }
+
+    /// Look up an indirect transfer `(site, target)`; stale entries miss.
+    pub fn ibtc_lookup(&mut self, site: u64, target: u64) -> Option<CacheRef> {
+        let e = self.ibtc[Self::ibtc_index(site, target)]?;
+        if e.site != site || e.target != target || !self.is_live(e.dst) {
+            return None;
+        }
+        if self.slots[e.dst.slot as usize].as_ref().unwrap().base != target {
+            return None;
+        }
+        Some(e.dst)
+    }
+
+    /// Fill (or overwrite) the IBTC entry for `(site, target)`.
+    pub fn ibtc_insert(&mut self, site: u64, target: u64, dst: CacheRef) {
+        self.ibtc[Self::ibtc_index(site, target)] = Some(IbtcEntry { site, target, dst });
+    }
+
+    fn evict_one(&mut self, ev: &mut EvictStats) {
+        let n = self.slots.len();
+        if n == 0 {
+            return;
+        }
+        // Clock: first full sweep gives every block a second chance by
+        // clearing its reference bit; by the end of the second sweep an
+        // unreferenced victim must exist.
+        let mut steps = 0;
+        while steps <= 2 * n {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % n;
+            steps += 1;
+            if let Some(b) = self.slots[i].as_mut() {
+                if b.referenced {
+                    b.referenced = false;
+                } else {
+                    self.evict_slot(i as u32, ev);
+                    return;
+                }
+            }
+        }
+        // Unreachable: 2n steps clear every bit; kept as a hard stop.
+        unreachable!("clock sweep found no victim");
+    }
+
+    /// Remove one block, severing every chain link in or out of it.
+    fn evict_slot(&mut self, slot: u32, ev: &mut EvictStats) {
+        let b = self.slots[slot as usize].take().expect("evicting empty slot");
+        self.map.remove(&b.base);
+        self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+        self.len -= 1;
+        ev.evicted += 1;
+        ev.bytes += b.bytes;
+        // Incoming links: predecessors must stop jumping here.
+        for &(p, exit) in &b.preds {
+            if let Some(pb) = self.slots[p as usize].as_mut() {
+                if let Some(l) = pb.links.get_mut(exit as usize) {
+                    if matches!(*l, Some(r) if r.slot == slot) {
+                        *l = None;
+                        ev.unchained += 1;
+                    }
+                }
+            }
+        }
+        // Outgoing links: targets must forget this predecessor.
+        for l in b.links.iter().flatten() {
+            if let Some(tb) = self.slots[l.slot as usize].as_mut() {
+                tb.preds.retain(|&(p, _)| p != slot);
+                ev.unchained += 1;
+            }
+        }
+    }
+
+    /// Invalidate every translation overlapping `[lo, hi)` — the
+    /// self-modifying-code / `DISCARD_TRANSLATIONS` path.
+    pub fn discard_range(&mut self, lo: u64, hi: u64) -> EvictStats {
+        let mut ev = EvictStats::default();
+        if lo >= hi {
+            return ev;
+        }
+        let victims: Vec<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let b = s.as_ref()?;
+                (b.base < hi && b.end > lo).then_some(i as u32)
+            })
+            .collect();
+        for v in victims {
+            self.evict_slot(v, &mut ev);
+        }
+        ev
+    }
+
+    /// Drop everything (used by tests; keeps generations monotonic).
+    pub fn clear(&mut self) -> EvictStats {
+        self.discard_range(0, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_ir::{Atom, IrBlock, JumpKind, Stmt};
+
+    fn block(base: u64, n_side: usize) -> Rc<IrBlock> {
+        let mut b = IrBlock::new(base);
+        b.stmts.push(Stmt::IMark { addr: base, len: 16 });
+        for i in 0..n_side {
+            b.stmts.push(Stmt::Exit {
+                guard: Atom::Const(0),
+                target: base + 0x100 * (i as u64 + 1),
+                kind: JumpKind::Boring,
+            });
+        }
+        b.next = Atom::imm(base + 16);
+        Rc::new(b)
+    }
+
+    #[test]
+    fn insert_lookup_and_generation_validation() {
+        let mut c = TransCache::new(4);
+        let (r, _) = c.insert(block(0x1000, 0), None, 64);
+        assert_eq!(c.lookup(0x1000), Some(r));
+        assert_eq!(c.lookup(0x2000), None);
+        assert!(c.take_for(r, 0x1000).is_some());
+        assert!(c.take_for(r, 0x1010).is_none(), "wrong pc must miss");
+        let stale = CacheRef { slot: r.slot, gen: r.gen.wrapping_add(1) };
+        assert!(c.take_for(stale, 0x1000).is_none(), "wrong generation must miss");
+    }
+
+    #[test]
+    fn capacity_bound_holds_and_eviction_unchains() {
+        let mut c = TransCache::new(2);
+        let (a, _) = c.insert(block(0x1000, 0), None, 64);
+        let (b, _) = c.insert(block(0x2000, 0), None, 64);
+        assert!(c.link(a, 0, b), "fallthrough link a→b");
+        assert_eq!(c.link_of(a, 0), Some(b));
+        // Third insert evicts one of a/b (clock order) and must unchain.
+        let (_d, ev) = c.insert(block(0x3000, 0), None, 64);
+        assert_eq!(c.len(), 2);
+        assert_eq!(ev.evicted, 1);
+        assert!(ev.unchained >= 1, "the a→b link had to be severed");
+        // Whichever end survived, the link is gone.
+        assert_eq!(c.link_of(a, 0), None);
+    }
+
+    #[test]
+    fn relink_replaces_pred_edge() {
+        let mut c = TransCache::new(8);
+        let (a, _) = c.insert(block(0x1000, 1), None, 64);
+        let (b, _) = c.insert(block(0x2000, 0), None, 64);
+        let (d, _) = c.insert(block(0x3000, 0), None, 64);
+        assert!(c.link(a, 1, b));
+        assert!(c.link(a, 1, d), "re-link to a new target");
+        assert!(!c.link(a, 1, d), "idempotent");
+        assert_eq!(c.link_of(a, 1), Some(d));
+        // Evicting the old target must not clear the new link.
+        let mut ev = EvictStats::default();
+        c.evict_slot(b.slot, &mut ev);
+        assert_eq!(c.link_of(a, 1), Some(d));
+    }
+
+    #[test]
+    fn self_link_survives_and_dies_with_the_block() {
+        let mut c = TransCache::new(4);
+        let (a, _) = c.insert(block(0x1000, 0), None, 64);
+        assert!(c.link(a, 0, a), "tight loop: block chains to itself");
+        assert_eq!(c.link_of(a, 0), Some(a));
+        let ev = c.discard_range(0x1000, 0x1010);
+        assert_eq!(ev.evicted, 1);
+        assert_eq!(c.lookup(0x1000), None);
+    }
+
+    #[test]
+    fn discard_range_hits_overlapping_blocks_only() {
+        let mut c = TransCache::new(8);
+        let (a, _) = c.insert(block(0x1000, 0), None, 64);
+        let (b, _) = c.insert(block(0x2000, 0), None, 64);
+        let ev = c.discard_range(0x1008, 0x1009);
+        assert_eq!(ev.evicted, 1);
+        assert!(!c.is_live(a));
+        assert!(c.is_live(b));
+        assert_eq!(c.discard_range(0, 0).evicted, 0, "empty range is a no-op");
+    }
+
+    #[test]
+    fn ibtc_round_trip_and_staleness() {
+        let mut c = TransCache::new(4);
+        let (a, _) = c.insert(block(0x1000, 0), None, 64);
+        c.ibtc_insert(0x5000, 0x1000, a);
+        assert_eq!(c.ibtc_lookup(0x5000, 0x1000), Some(a));
+        assert_eq!(c.ibtc_lookup(0x5000, 0x1010), None);
+        c.clear();
+        assert_eq!(c.ibtc_lookup(0x5000, 0x1000), None, "stale entry must miss");
+        // Slot recycled by a different block: the old entry still misses.
+        let (_b, _) = c.insert(block(0x9000, 0), None, 64);
+        assert_eq!(c.ibtc_lookup(0x5000, 0x1000), None);
+    }
+
+    #[test]
+    fn clock_eviction_prefers_unreferenced_blocks() {
+        let mut c = TransCache::new(3);
+        let (a, _) = c.insert(block(0x1000, 0), None, 64);
+        let (_b, _) = c.insert(block(0x2000, 0), None, 64);
+        let (_d, _) = c.insert(block(0x3000, 0), None, 64);
+        // Sweep 1 clears all bits; touch `a` again so it survives.
+        let (_e, ev) = c.insert(block(0x4000, 0), None, 64);
+        assert_eq!(ev.evicted, 1);
+        assert!(c.is_live(a) || c.lookup(0x1000).is_none());
+        // Re-touch a; everyone else untouched → next eviction spares a.
+        if c.lookup(0x1000).is_some() {
+            let (_f, _) = c.insert(block(0x5000, 0), None, 64);
+            let (_g, _) = c.insert(block(0x6000, 0), None, 64);
+            assert!(c.len() <= 3);
+        }
+    }
+}

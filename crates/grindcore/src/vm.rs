@@ -11,9 +11,11 @@
 //! native scheduling, and the runtime's own scheduling state is guest
 //! memory like any other.
 
+use crate::flat::{FDirty, FOp, FlatBlock, TMP_BIT};
 use crate::lift::lift_superblock;
 use crate::mem::GuestMemory;
 use crate::syscalls;
+use crate::tcache::{CacheRef, TransCache};
 use crate::tool::{pattern_matches, BlockMeta, Tool};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -74,6 +76,14 @@ pub struct VmConfig {
     /// Run the `iropt`-style optimization pass on lifted blocks before
     /// instrumentation (Valgrind's pipeline order).
     pub optimize_ir: bool,
+    /// Chain translated superblocks so steady-state dispatch skips the
+    /// translation-cache hash probe (Valgrind's block chaining). The
+    /// `--no-chaining` escape hatch clears this; results must be
+    /// bit-identical either way.
+    pub chaining: bool,
+    /// Capacity of the bounded translation cache, in superblocks.
+    /// Evictions use an LRU-clock sweep and unchain the victim.
+    pub cache_blocks: usize,
 }
 
 impl Default for VmConfig {
@@ -86,6 +96,8 @@ impl Default for VmConfig {
             stack_size: 1 << 20,
             sched: SchedPolicy::RoundRobin,
             optimize_ir: true,
+            chaining: true,
+            cache_blocks: 4096,
         }
     }
 }
@@ -143,6 +155,31 @@ pub enum AddrClass {
     Other,
 }
 
+/// Dispatch-loop telemetry (DBI mode): how blocks reached execution and
+/// what the bounded translation cache did to keep them there.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Dispatches served by a chain link or IBTC entry (no hash probe).
+    pub chain_hits: u64,
+    /// Direct exit→successor links patched into cached blocks.
+    pub chain_links: u64,
+    /// Indirect transfers served by the indirect-branch target cache.
+    pub ibtc_hits: u64,
+    /// IBTC entries written.
+    pub ibtc_fills: u64,
+    /// Translation-cache hash probes (the slow dispatch path).
+    pub probes: u64,
+    /// Blocks evicted by the LRU-clock sweep (capacity pressure).
+    pub evictions: u64,
+    /// Chain links severed by eviction or invalidation.
+    pub unchains: u64,
+    /// Blocks invalidated by `DISCARD_TRANSLATIONS` or self-modifying
+    /// code, as opposed to capacity evictions.
+    pub discarded_blocks: u64,
+    /// `DISCARD_TRANSLATIONS` client requests handled by the core.
+    pub discard_requests: u64,
+}
+
 /// Execution counters, reported in every [`RunResult`].
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -164,6 +201,21 @@ pub struct Metrics {
     pub guest_footprint: u64,
     /// Host bytes the tool reported for its own structures.
     pub tool_bytes: u64,
+    /// Dispatch-loop telemetry (chaining, probes, evictions).
+    pub dispatch: VmStats,
+    /// FNV-1a digest folded over every scheduler slice grant — two runs
+    /// scheduled identically have equal digests. Used by the chaining
+    /// determinism tests.
+    pub sched_digest: u64,
+}
+
+/// Fold one value into the scheduler digest (FNV-1a over LE bytes).
+fn fold_digest(digest: u64, v: u64) -> u64 {
+    let mut d = if digest == 0 { 0xcbf2_9ce4_8422_2325 } else { digest };
+    for b in v.to_le_bytes() {
+        d = (d ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    d
 }
 
 /// A guest fault (bad opcode, division by zero, budget exhausted, ...).
@@ -375,14 +427,31 @@ impl VmCore {
     }
 }
 
+/// Where the previous superblock handed control, so the dispatcher can
+/// chain the edge once the successor translation is known.
+#[derive(Clone, Copy, Debug)]
+enum Pending {
+    /// No chainable edge (thread start, redirect, halt, discard).
+    None,
+    /// A direct transfer: exit ordinal `exit` of cached block `from`
+    /// (side exits in statement order, fallthrough last).
+    Link { from: CacheRef, exit: u32 },
+    /// An indirect transfer (`Ret`/computed jump) from the block based
+    /// at `site`; chained through the IBTC keyed on (site, target).
+    Ibtc { site: u64 },
+}
+
 /// The full VM: core state + the active tool + the translation cache.
 pub struct Vm {
     pub core: VmCore,
     pub tool: Box<dyn Tool>,
-    cache: HashMap<u64, Rc<IrBlock>>,
+    tcache: TransCache,
     redirects: HashMap<u64, u32>,
     tmp_buf: Vec<u64>,
     yield_requested: bool,
+    /// Guest code range, for the self-modifying-code store check.
+    code_lo: u64,
+    code_hi: u64,
 }
 
 impl Vm {
@@ -396,14 +465,24 @@ impl Vm {
                 }
             }
         }
+        let code_lo = module.code_base;
+        let code_hi = module.code_end();
+        let cache_blocks = config.cache_blocks;
         Vm {
             core: VmCore::new(module, config),
             tool,
-            cache: HashMap::new(),
+            tcache: TransCache::new(cache_blocks),
             redirects,
             tmp_buf: Vec::new(),
             yield_requested: false,
+            code_lo,
+            code_hi,
         }
+    }
+
+    /// Number of translations currently resident in the bounded cache.
+    pub fn cached_blocks(&self) -> usize {
+        self.tcache.len()
     }
 
     /// Run the program to completion.
@@ -413,7 +492,7 @@ impl Vm {
         let mut error: Option<VmError> = None;
         let mut current: Tid = 0;
 
-        'sched: loop {
+        loop {
             let Some(tid) = self.pick_next(current) else {
                 // No runnable thread: either everything exited, or the
                 // remaining threads are blocked → deadlock.
@@ -422,49 +501,19 @@ impl Vm {
             };
             current = tid;
             self.core.metrics.switches += 1;
+            self.core.metrics.sched_digest =
+                fold_digest(self.core.metrics.sched_digest, tid as u64);
             let slice = match mode {
                 ExecMode::Dbi => self.core.config.quantum,
                 ExecMode::Fast => self.core.config.quantum * 16,
             };
-            for _ in 0..slice {
-                if self.core.threads[tid].status != ThreadStatus::Runnable {
-                    break;
-                }
-                if self.core.exit_code.is_some() {
-                    break 'sched;
-                }
-                if self.core.metrics.instrs > self.core.config.max_instrs {
-                    error = Some(VmError {
-                        tid,
-                        pc: self.core.threads[tid].pc,
-                        msg: format!(
-                            "instruction budget exhausted ({})",
-                            self.core.config.max_instrs
-                        ),
-                    });
-                    break 'sched;
-                }
-                let pc = self.core.threads[tid].pc;
-                if pc == EXIT_SENTINEL {
-                    self.thread_exit(tid);
-                    break;
-                }
-                if let Some(&id) = self.redirects.get(&pc) {
-                    self.handle_redirect(tid, id);
-                    continue;
-                }
-                let step = match mode {
-                    ExecMode::Dbi => self.exec_block(tid),
-                    ExecMode::Fast => self.exec_inst(tid),
-                };
-                if let Err(e) = step {
-                    error = Some(e);
-                    break 'sched;
-                }
-                if self.yield_requested {
-                    self.yield_requested = false;
-                    break;
-                }
+            let step = match mode {
+                ExecMode::Dbi => self.run_slice_dbi(tid, slice),
+                ExecMode::Fast => self.run_slice_fast(tid, slice),
+            };
+            if let Err(e) = step {
+                error = Some(e);
+                break;
             }
             if self.core.exit_code.is_some() {
                 break;
@@ -481,6 +530,178 @@ impl Vm {
             error,
             metrics: self.core.metrics.clone(),
         }
+    }
+
+    fn budget_error(&self, tid: Tid) -> VmError {
+        VmError {
+            tid,
+            pc: self.core.threads[tid].pc,
+            msg: format!("instruction budget exhausted ({})", self.core.config.max_instrs),
+        }
+    }
+
+    /// One scheduler slice in DBI mode, routed to the engine the config
+    /// selects. Both engines make the same per-iteration scheduling
+    /// checks in the same order and produce bit-identical guest state,
+    /// metrics and tool-callback streams; the differential test layer
+    /// enforces this.
+    fn run_slice_dbi(&mut self, tid: Tid, slice: u64) -> Result<(), VmError> {
+        if self.core.config.chaining {
+            self.run_slice_dbi_chained(tid, slice)
+        } else {
+            self.run_slice_dbi_ref(tid, slice)
+        }
+    }
+
+    /// The production dispatch loop: superblock chaining over flat
+    /// compiled blocks.
+    ///
+    /// The fast path is a *chain hit*: the previous block's taken exit
+    /// (or the IBTC, for indirect transfers) already names the successor
+    /// translation, so dispatch validates a generation-checked handle
+    /// and runs — no redirect probe, no cache probe. Chain hits may skip
+    /// the redirect check because redirected entry points are never
+    /// translated (the redirect probe precedes translation on the slow
+    /// path), so no cached block — hence no link target — is one.
+    fn run_slice_dbi_chained(&mut self, tid: Tid, slice: u64) -> Result<(), VmError> {
+        // Chain state is slice-local: a transfer interrupted by a thread
+        // switch re-enters through the slow path, exactly like Valgrind
+        // re-entering the dispatcher.
+        let mut pending = Pending::None;
+        for _ in 0..slice {
+            if self.core.threads[tid].status != ThreadStatus::Runnable {
+                break;
+            }
+            if self.core.exit_code.is_some() {
+                break;
+            }
+            if self.core.metrics.instrs > self.core.config.max_instrs {
+                return Err(self.budget_error(tid));
+            }
+            let pc = self.core.threads[tid].pc;
+            if pc == EXIT_SENTINEL {
+                self.thread_exit(tid);
+                break;
+            }
+
+            // Chain-hit fast path.
+            let dispatched: Option<(CacheRef, Rc<FlatBlock>)> = match pending {
+                Pending::Link { from, exit } => self.tcache.follow(from, exit, pc),
+                Pending::Ibtc { site } => {
+                    let hit = self
+                        .tcache
+                        .ibtc_lookup(site, pc)
+                        .and_then(|p| Some((p, self.tcache.take_flat_for(p, pc)?)));
+                    if hit.is_some() {
+                        self.core.metrics.dispatch.ibtc_hits += 1;
+                    }
+                    hit
+                }
+                Pending::None => None,
+            };
+
+            let (cur, block) = match dispatched {
+                Some(hit) => {
+                    self.core.metrics.dispatch.chain_hits += 1;
+                    hit
+                }
+                None => {
+                    // Slow path: redirect probe, then cache probe /
+                    // translation, then patch the edge that got us here.
+                    if let Some(&id) = self.redirects.get(&pc) {
+                        self.handle_redirect(tid, id);
+                        pending = Pending::None;
+                        continue;
+                    }
+                    let cur = self.lookup_or_translate(pc)?;
+                    match pending {
+                        Pending::Link { from, exit } => {
+                            if self.tcache.link(from, exit, cur) {
+                                self.core.metrics.dispatch.chain_links += 1;
+                            }
+                        }
+                        Pending::Ibtc { site } => {
+                            self.tcache.ibtc_insert(site, pc, cur);
+                            self.core.metrics.dispatch.ibtc_fills += 1;
+                        }
+                        Pending::None => {}
+                    }
+                    (cur, self.tcache.flat_of(cur))
+                }
+            };
+
+            pending = self.exec_flat(tid, cur, &block)?;
+            if self.yield_requested {
+                self.yield_requested = false;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// The reference dispatch loop (`--no-chaining`): redirect probe and
+    /// translation-cache hash probe on every block, tree-walk execution
+    /// of the instrumented IR. This is the engine the differential tests
+    /// trust; the chained engine must match it bit for bit.
+    fn run_slice_dbi_ref(&mut self, tid: Tid, slice: u64) -> Result<(), VmError> {
+        for _ in 0..slice {
+            if self.core.threads[tid].status != ThreadStatus::Runnable {
+                break;
+            }
+            if self.core.exit_code.is_some() {
+                break;
+            }
+            if self.core.metrics.instrs > self.core.config.max_instrs {
+                return Err(self.budget_error(tid));
+            }
+            let pc = self.core.threads[tid].pc;
+            if pc == EXIT_SENTINEL {
+                self.thread_exit(tid);
+                break;
+            }
+            if let Some(&id) = self.redirects.get(&pc) {
+                self.handle_redirect(tid, id);
+                continue;
+            }
+            let cur = self.lookup_or_translate(pc)?;
+            let block = self.tcache.ir_of(cur);
+            self.exec_block(tid, &block)?;
+            if self.yield_requested {
+                self.yield_requested = false;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// One scheduler slice in Fast (direct interpretation) mode.
+    fn run_slice_fast(&mut self, tid: Tid, slice: u64) -> Result<(), VmError> {
+        for _ in 0..slice {
+            if self.core.threads[tid].status != ThreadStatus::Runnable {
+                break;
+            }
+            if self.core.exit_code.is_some() {
+                break;
+            }
+            if self.core.metrics.instrs > self.core.config.max_instrs {
+                return Err(self.budget_error(tid));
+            }
+            let pc = self.core.threads[tid].pc;
+            if pc == EXIT_SENTINEL {
+                self.thread_exit(tid);
+                break;
+            }
+            if let Some(&id) = self.redirects.get(&pc) {
+                self.handle_redirect(tid, id);
+                continue;
+            }
+            self.exec_inst(tid)?;
+            if self.yield_requested {
+                self.yield_requested = false;
+                break;
+            }
+        }
+        Ok(())
     }
 
     fn pick_next(&mut self, current: Tid) -> Option<Tid> {
@@ -525,7 +746,15 @@ impl Vm {
         t.shadow_stack.pop();
     }
 
-    fn translate(&mut self, pc: u64) -> Result<Rc<IrBlock>, VmError> {
+    /// Slow dispatch path: probe the translation cache, translating on
+    /// a miss (and possibly evicting to stay within capacity). Under the
+    /// chained engine the flat compiled form is produced here too, once
+    /// per translation.
+    fn lookup_or_translate(&mut self, pc: u64) -> Result<CacheRef, VmError> {
+        self.core.metrics.dispatch.probes += 1;
+        if let Some(r) = self.tcache.lookup(pc) {
+            return Ok(r);
+        }
         let block = lift_superblock(&self.core.module, pc).map_err(|e| VmError {
             tid: 0,
             pc,
@@ -540,20 +769,316 @@ impl Vm {
         if cfg!(debug_assertions) {
             vex_ir::sanity::assert_sane(&block, self.tool.name());
         }
+        let flat = self.core.config.chaining.then(|| Rc::new(crate::flat::compile(&block)));
+        let bytes = 64 + block.stmts.len() as u64 * 48;
         self.core.metrics.translations += 1;
-        self.core.metrics.translation_bytes += 64 + block.stmts.len() as u64 * 48;
-        let rc = Rc::new(block);
-        self.cache.insert(pc, rc.clone());
-        Ok(rc)
+        self.core.metrics.translation_bytes += bytes;
+        let (r, ev) = self.tcache.insert(Rc::new(block), flat, bytes);
+        self.core.metrics.dispatch.evictions += ev.evicted;
+        self.core.metrics.dispatch.unchains += ev.unchained;
+        self.core.metrics.translation_bytes =
+            self.core.metrics.translation_bytes.saturating_sub(ev.bytes);
+        Ok(r)
     }
 
-    /// Execute one instrumented superblock (DBI mode).
-    fn exec_block(&mut self, tid: Tid) -> Result<(), VmError> {
-        let pc = self.core.threads[tid].pc;
-        let block = match self.cache.get(&pc) {
-            Some(b) => b.clone(),
-            None => self.translate(pc)?,
+    /// Invalidate every translation overlapping `[lo, hi)`, unchaining
+    /// the victims. Safe mid-block: execution holds its own `Rc` and
+    /// every later chain patch is generation-validated.
+    pub fn discard_translations(&mut self, lo: u64, hi: u64) {
+        let ev = self.tcache.discard_range(lo, hi);
+        self.core.metrics.dispatch.discarded_blocks += ev.evicted;
+        self.core.metrics.dispatch.unchains += ev.unchained;
+        self.core.metrics.translation_bytes =
+            self.core.metrics.translation_bytes.saturating_sub(ev.bytes);
+    }
+
+    /// Route a client request: core requests are handled here (and never
+    /// forwarded), everything else goes to the tool.
+    fn handle_client_request(&mut self, tid: Tid, code: u64, args: [u64; 5]) -> u64 {
+        self.core.metrics.client_requests += 1;
+        if code == crate::creq::DISCARD_TRANSLATIONS {
+            self.core.metrics.dispatch.discard_requests += 1;
+            self.discard_translations(args[0], args[0].saturating_add(args[1]));
+            return 0;
+        }
+        self.tool.client_request(&mut self.core, tid, code, args)
+    }
+
+    /// Execute one flat-compiled superblock (chained engine), returning
+    /// the chainable edge it left on. Must match [`Self::exec_block`]
+    /// bit for bit: same guest effects, same tool-callback order and
+    /// arguments, same `instrs` at every observable point (dirty calls,
+    /// traps, exits), same error pcs.
+    fn exec_flat(
+        &mut self,
+        tid: Tid,
+        cur: CacheRef,
+        fb: &Rc<FlatBlock>,
+    ) -> Result<Pending, VmError> {
+        self.core.metrics.blocks += 1;
+        let mut tmps = std::mem::take(&mut self.tmp_buf);
+        // Every temp is written before it is read (the compile-time scan
+        // behind `zero_temps` proved it), so the buffer's stale contents
+        // are unobservable and the per-block memset can be skipped.
+        if fb.zero_temps {
+            tmps.clear();
+            tmps.resize(fb.n_temps as usize, 0);
+        } else if tmps.len() < fb.n_temps as usize {
+            tmps.resize(fb.n_temps as usize, 0);
+        }
+        let consts = &fb.consts;
+        // Instructions credited so far. The reference walker counts one
+        // per IMark as it passes; here every observable point carries
+        // its precomputed count and we credit the delta, so external
+        // increments (if a tool ever made any) are preserved.
+        let mut counted: u32 = 0;
+
+        macro_rules! fv {
+            ($x:expr) => {{
+                let x = $x;
+                if x & TMP_BIT != 0 {
+                    tmps[(x & !TMP_BIT) as usize]
+                } else {
+                    consts[x as usize]
+                }
+            }};
+        }
+
+        let mut taken: Option<crate::flat::FExit> = None;
+        'body: for op in fb.ops.iter() {
+            match *op {
+                FOp::Get { dst, reg } => {
+                    tmps[dst as usize] = self.core.threads[tid].regs[reg as usize];
+                }
+                FOp::Mov { dst, src } => tmps[dst as usize] = fv!(src),
+                FOp::Ld8 { dst, addr, ic } => {
+                    let a = fv!(addr);
+                    tmps[dst as usize] = self.core.mem.read_u64_ic(a, &fb.ics[ic as usize]);
+                }
+                FOp::Ld1 { dst, addr, ic } => {
+                    let a = fv!(addr);
+                    tmps[dst as usize] = self.core.mem.read_u8_ic(a, &fb.ics[ic as usize]) as u64;
+                }
+                FOp::Bin { dst, op, a, b } => {
+                    let (a, b) = (fv!(a), fv!(b));
+                    tmps[dst as usize] = eval_binop(op, a, b).expect("non-trapping binop trapped");
+                }
+                FOp::BinTrap { dst, op, a, b, trap } => {
+                    let (a, b) = (fv!(a), fv!(b));
+                    match eval_binop(op, a, b) {
+                        Some(v) => tmps[dst as usize] = v,
+                        None => {
+                            let t = fb.traps[trap as usize];
+                            self.core.metrics.instrs += (t.instrs - counted) as u64;
+                            return Err(VmError { tid, pc: t.pc, msg: "division by zero".into() });
+                        }
+                    }
+                }
+                FOp::Un { dst, op, x } => tmps[dst as usize] = eval_unop(op, fv!(x)),
+                FOp::Ite { dst, c, t, e } => {
+                    tmps[dst as usize] = if fv!(c) != 0 { fv!(t) } else { fv!(e) };
+                }
+                FOp::Put { reg, src } => {
+                    let v = fv!(src);
+                    self.core.threads[tid].regs[reg as usize] = v;
+                }
+                FOp::St8 { addr, val, ic } => {
+                    let a = fv!(addr);
+                    let v = fv!(val);
+                    self.core.mem.write_u64_ic(a, v, &fb.ics[ic as usize]);
+                    if a < self.code_hi && a.saturating_add(8) > self.code_lo {
+                        self.discard_translations(a, a.saturating_add(8));
+                    }
+                }
+                FOp::St1 { addr, val, ic } => {
+                    let a = fv!(addr);
+                    let v = fv!(val);
+                    self.core.mem.write_u8_ic(a, v as u8, &fb.ics[ic as usize]);
+                    if a < self.code_hi && a.saturating_add(1) > self.code_lo {
+                        self.discard_translations(a, a.saturating_add(1));
+                    }
+                }
+                FOp::Cas { dst, addr, expected, new } => {
+                    let a = fv!(addr);
+                    let old = self.core.mem.read_u64(a);
+                    if old == fv!(expected) {
+                        let n = fv!(new);
+                        self.core.mem.write_u64(a, n);
+                    }
+                    tmps[dst as usize] = old;
+                }
+                FOp::Amo { dst, addr, val } => {
+                    let a = fv!(addr);
+                    let old = self.core.mem.read_u64(a);
+                    let v = fv!(val);
+                    self.core.mem.write_u64(a, old.wrapping_add(v));
+                    tmps[dst as usize] = old;
+                }
+                FOp::Dirty { idx } => {
+                    let FDirty { call, ref args, dst, pc, instrs } = fb.dirties[idx as usize];
+                    let vals: Vec<u64> = args.iter().map(|&a| fv!(a)).collect();
+                    self.core.metrics.instrs += (instrs - counted) as u64;
+                    counted = instrs;
+                    let ret = match call {
+                        DirtyCall::Syscall => {
+                            let mut a6 = [0u64; 6];
+                            a6.copy_from_slice(&vals[1..7]);
+                            self.do_syscall(tid, vals[0] as i64, a6, pc)?
+                        }
+                        DirtyCall::ClientRequest => {
+                            let mut a5 = [0u64; 5];
+                            a5.copy_from_slice(&vals[1..6]);
+                            self.handle_client_request(tid, vals[0], a5)
+                        }
+                        DirtyCall::ToolMem { write } => {
+                            self.tool.mem_access(&mut self.core, tid, vals[0], vals[1], write, pc);
+                            0
+                        }
+                        DirtyCall::ToolHelper { id } => {
+                            self.tool.tool_helper(&mut self.core, tid, id, &vals)
+                        }
+                    };
+                    if let Some(d) = dst {
+                        tmps[d as usize] = ret;
+                    }
+                }
+                FOp::Exit { guard, idx } => {
+                    if fv!(guard) != 0 {
+                        taken = Some(fb.exits[idx as usize]);
+                        break 'body;
+                    }
+                }
+                FOp::MovRR { rd, rs } => {
+                    let v = self.core.threads[tid].regs[rs as usize];
+                    self.core.threads[tid].regs[rd as usize] = v;
+                }
+                FOp::BinRI { dst, op, rs, c } => {
+                    let a = self.core.threads[tid].regs[rs as usize];
+                    tmps[dst as usize] =
+                        eval_binop(op, a, consts[c as usize]).expect("non-trapping binop trapped");
+                }
+                FOp::BinRIP { rd, op, rs, c } => {
+                    let a = self.core.threads[tid].regs[rs as usize];
+                    self.core.threads[tid].regs[rd as usize] =
+                        eval_binop(op, a, consts[c as usize]).expect("non-trapping binop trapped");
+                }
+                FOp::BinTR { dst, op, a, rb } => {
+                    let b = self.core.threads[tid].regs[rb as usize];
+                    tmps[dst as usize] =
+                        eval_binop(op, fv!(a), b).expect("non-trapping binop trapped");
+                }
+                FOp::BinRR { dst, op, ra, rb } => {
+                    let regs = &self.core.threads[tid].regs;
+                    let (a, b) = (regs[ra as usize], regs[rb as usize]);
+                    tmps[dst as usize] = eval_binop(op, a, b).expect("non-trapping binop trapped");
+                }
+                FOp::BinRRP { rd, op, ra, rb } => {
+                    let regs = &mut self.core.threads[tid].regs;
+                    let (a, b) = (regs[ra as usize], regs[rb as usize]);
+                    regs[rd as usize] = eval_binop(op, a, b).expect("non-trapping binop trapped");
+                }
+                FOp::LdRO { dst, rs, c, ic } => {
+                    let a =
+                        self.core.threads[tid].regs[rs as usize].wrapping_add(consts[c as usize]);
+                    tmps[dst as usize] = self.core.mem.read_u64_ic(a, &fb.ics[ic as usize]);
+                }
+                FOp::LdRP { rd, rs, c, ic } => {
+                    let a =
+                        self.core.threads[tid].regs[rs as usize].wrapping_add(consts[c as usize]);
+                    let v = self.core.mem.read_u64_ic(a, &fb.ics[ic as usize]);
+                    self.core.threads[tid].regs[rd as usize] = v;
+                }
+                FOp::StV { addr, vr, ic } => {
+                    let a = fv!(addr);
+                    let v = self.core.threads[tid].regs[vr as usize];
+                    self.core.mem.write_u64_ic(a, v, &fb.ics[ic as usize]);
+                    if a < self.code_hi && a.saturating_add(8) > self.code_lo {
+                        self.discard_translations(a, a.saturating_add(8));
+                    }
+                }
+                FOp::StRV { rs, c, val, ic } => {
+                    let a =
+                        self.core.threads[tid].regs[rs as usize].wrapping_add(consts[c as usize]);
+                    let v = fv!(val);
+                    self.core.mem.write_u64_ic(a, v, &fb.ics[ic as usize]);
+                    if a < self.code_hi && a.saturating_add(8) > self.code_lo {
+                        self.discard_translations(a, a.saturating_add(8));
+                    }
+                }
+                FOp::StRR { rs, c, vr, ic } => {
+                    let regs = &self.core.threads[tid].regs;
+                    let a = regs[rs as usize].wrapping_add(consts[c as usize]);
+                    let v = regs[vr as usize];
+                    self.core.mem.write_u64_ic(a, v, &fb.ics[ic as usize]);
+                    if a < self.code_hi && a.saturating_add(8) > self.code_lo {
+                        self.discard_translations(a, a.saturating_add(8));
+                    }
+                }
+                FOp::BinP { rd, op, a, b } => {
+                    let (a, b) = (fv!(a), fv!(b));
+                    self.core.threads[tid].regs[rd as usize] =
+                        eval_binop(op, a, b).expect("non-trapping binop trapped");
+                }
+                FOp::LdO { dst, base, off, ic } => {
+                    let a = fv!(base).wrapping_add(fv!(off));
+                    tmps[dst as usize] = self.core.mem.read_u64_ic(a, &fb.ics[ic as usize]);
+                }
+                FOp::LdOP { rd, base, off, ic } => {
+                    let a = fv!(base).wrapping_add(fv!(off));
+                    let v = self.core.mem.read_u64_ic(a, &fb.ics[ic as usize]);
+                    self.core.threads[tid].regs[rd as usize] = v;
+                }
+                FOp::LdP { rd, addr, ic } => {
+                    let a = fv!(addr);
+                    let v = self.core.mem.read_u64_ic(a, &fb.ics[ic as usize]);
+                    self.core.threads[tid].regs[rd as usize] = v;
+                }
+                FOp::StO { base, off, val, ic } => {
+                    let a = fv!(base).wrapping_add(fv!(off));
+                    let v = fv!(val);
+                    self.core.mem.write_u64_ic(a, v, &fb.ics[ic as usize]);
+                    if a < self.code_hi && a.saturating_add(8) > self.code_lo {
+                        self.discard_translations(a, a.saturating_add(8));
+                    }
+                }
+            }
+        }
+
+        // Determine the transfer and the chainable edge it constitutes:
+        // direct (constant-target) transfers chain through the exit's
+        // link slot, indirect ones through the IBTC, halts not at all.
+        let (next, kind, pending) = match taken {
+            Some(e) => {
+                self.core.metrics.instrs += (e.instrs - counted) as u64;
+                let p = if matches!(e.kind, JumpKind::Halt) {
+                    Pending::None
+                } else {
+                    Pending::Link { from: cur, exit: e.ord }
+                };
+                (e.target, e.kind, p)
+            }
+            None => {
+                self.core.metrics.instrs += (fb.instrs_total - counted) as u64;
+                let k = fb.jumpkind;
+                let p = if matches!(k, JumpKind::Halt) {
+                    Pending::None
+                } else if fb.next_is_const() {
+                    Pending::Link { from: cur, exit: fb.fall_ord }
+                } else {
+                    Pending::Ibtc { site: fb.base }
+                };
+                (fv!(fb.next), k, p)
+            }
         };
+        self.finish_jump(tid, next, kind);
+        self.tmp_buf = tmps;
+        Ok(pending)
+    }
+
+    /// Execute one instrumented superblock by walking its IR statement
+    /// list — the reference engine's executor.
+    fn exec_block(&mut self, tid: Tid, block: &Rc<IrBlock>) -> Result<(), VmError> {
+        let pc = block.base;
         self.core.metrics.blocks += 1;
         let mut tmps = std::mem::take(&mut self.tmp_buf);
         tmps.clear();
@@ -612,9 +1137,20 @@ impl Vm {
                 Stmt::Store { ty, addr, val } => {
                     let a = ev!(addr);
                     let v = ev!(val);
-                    match ty {
-                        Ty::I8 => self.core.mem.write_u8(a, v as u8),
-                        _ => self.core.mem.write_u64(a, v),
+                    let len = match ty {
+                        Ty::I8 => {
+                            self.core.mem.write_u8(a, v as u8);
+                            1
+                        }
+                        _ => {
+                            self.core.mem.write_u64(a, v);
+                            8
+                        }
+                    };
+                    // Self-modifying code: a store into the code image
+                    // invalidates any translation it overlaps.
+                    if a < self.code_hi && a.saturating_add(len) > self.code_lo {
+                        self.discard_translations(a, a.saturating_add(len));
                     }
                 }
                 Stmt::Cas { dst, addr, expected, new } => {
@@ -644,8 +1180,7 @@ impl Vm {
                         DirtyCall::ClientRequest => {
                             let mut a5 = [0u64; 5];
                             a5.copy_from_slice(&vals[1..6]);
-                            self.core.metrics.client_requests += 1;
-                            self.tool.client_request(&mut self.core, tid, vals[0], a5)
+                            self.handle_client_request(tid, vals[0], a5)
                         }
                         DirtyCall::ToolMem { write } => {
                             self.tool.mem_access(
@@ -857,8 +1392,7 @@ impl Vm {
                 for (i, a) in a5.iter_mut().enumerate() {
                     *a = t.regs[reg::A1 as usize + i];
                 }
-                self.core.metrics.client_requests += 1;
-                let ret = self.tool.client_request(&mut self.core, tid, code, a5);
+                let ret = self.handle_client_request(tid, code, a5);
                 wr(&mut self.core, inst.rd, ret);
             }
             Halt => {

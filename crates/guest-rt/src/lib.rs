@@ -491,6 +491,7 @@ int main(void) {
             (4120, creq::CRITICAL_ENTER),
             (4121, creq::CRITICAL_EXIT),
             (4176, creq::USER_DEFERRABLE),
+            (4192, creq::DISCARD_TRANSLATIONS),
         ] {
             assert_eq!(dec, code);
             assert!(

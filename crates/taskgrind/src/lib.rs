@@ -111,6 +111,9 @@ pub struct TaskgrindResult {
     pub sites_instrumented: u64,
     /// The static facts used for pruning, if the filter ran.
     pub static_facts: Option<Arc<tga_analysis::StaticFacts>>,
+    /// Dispatch-loop telemetry from the recording VM (chain hits,
+    /// probes, evictions — see [`grindcore::VmStats`]).
+    pub dispatch: grindcore::VmStats,
 }
 
 impl TaskgrindResult {
@@ -140,6 +143,7 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
     let run = vm.run(ExecMode::Dbi, args);
     let recording_secs = t0.elapsed().as_secs_f64();
     let tool_bytes = run.metrics.tool_bytes;
+    let run_dispatch = run.metrics.dispatch;
     drop(vm);
 
     let mut rec = take_recording(state);
@@ -178,6 +182,7 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
         sites_pruned: rec.sites_pruned,
         sites_instrumented: rec.sites_instrumented,
         static_facts,
+        dispatch: run_dispatch,
     }
 }
 

@@ -431,8 +431,11 @@ impl Interp<'_> {
                 Stmt::Exit { .. } => {
                     // Control may leave here for another leader that is
                     // analysed from scratch: pushed addresses still on
-                    // the operand stack become untrackable there.
+                    // the operand stack become untrackable there, and so
+                    // does an expression result carried in `t0` (the one
+                    // register minicc keeps live across joins).
                     self.flush_mem();
+                    self.escape_value(self.st.regs[reg::T0 as usize]);
                 }
             }
         }
@@ -466,6 +469,12 @@ impl Interp<'_> {
                     // codegen assumed was still live.
                     if block.guest_instrs() >= MAX_BLOCK_INSTS {
                         self.flush_regs(0, NUM_REGS as u8 - 1);
+                    } else {
+                        // A branch-free transfer only carries the
+                        // expression result in `t0` (e.g. the address
+                        // selected by a ternary flowing into its join
+                        // block, where it is reloaded as unknown).
+                        self.escape_value(self.st.regs[reg::T0 as usize]);
                     }
                 }
                 Atom::Const(_) => {

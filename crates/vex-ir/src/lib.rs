@@ -199,6 +199,18 @@ pub enum Stmt {
     Exit { guard: Atom, target: u64, kind: JumpKind },
 }
 
+/// A block exit described at translation time, used by the dispatcher's
+/// superblock-chaining layer: side exits always carry a constant target;
+/// the fallthrough exit only does when `next` is a constant atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticExit {
+    /// Constant destination, if known at translation time. `None` marks
+    /// an indirect exit (computed `next`, e.g. a return), which the
+    /// dispatcher resolves through its indirect-branch target cache.
+    pub target: Option<u64>,
+    pub kind: JumpKind,
+}
+
 /// An IR superblock: single entry, one unconditional final exit plus any
 /// number of guarded side exits.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -246,10 +258,56 @@ impl IrBlock {
             _ => None,
         })
     }
+
+    /// Number of guarded side exits (`Stmt::Exit`) in the block.
+    pub fn side_exit_count(&self) -> usize {
+        self.stmts.iter().filter(|s| matches!(s, Stmt::Exit { .. })).count()
+    }
+
+    /// Exit descriptors in dispatch order: every side exit in statement
+    /// order, then the fallthrough exit last. The index into this vector
+    /// is the *exit ordinal* the dispatcher uses for chain-link slots.
+    pub fn static_exits(&self) -> Vec<StaticExit> {
+        let mut v: Vec<StaticExit> = self
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Exit { target, kind, .. } => {
+                    Some(StaticExit { target: Some(*target), kind: *kind })
+                }
+                _ => None,
+            })
+            .collect();
+        v.push(StaticExit {
+            target: match self.next {
+                Atom::Const(c) => Some(c),
+                Atom::Tmp(_) => None,
+            },
+            kind: self.jumpkind,
+        });
+        v
+    }
+
+    /// Guest address range `[base, end)` covered by the block's
+    /// instructions, from the IMarks. Used for translation invalidation
+    /// (self-modifying code / discard requests).
+    pub fn extent(&self) -> (u64, u64) {
+        let end = self
+            .stmts
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                Stmt::IMark { addr, len } => Some(addr + *len as u64),
+                _ => None,
+            })
+            .unwrap_or(self.base);
+        (self.base, end.max(self.base))
+    }
 }
 
 /// Evaluate a binary op on raw 64-bit values. Returns `None` on division
 /// by zero, which the VM turns into a guest trap.
+#[inline]
 pub fn eval_binop(op: BinOp, a: u64, b: u64) -> Option<u64> {
     let fa = f64::from_bits(a);
     let fb = f64::from_bits(b);
@@ -291,6 +349,7 @@ pub fn eval_binop(op: BinOp, a: u64, b: u64) -> Option<u64> {
 }
 
 /// Evaluate a unary op on a raw 64-bit value.
+#[inline]
 pub fn eval_unop(op: UnOp, x: u64) -> u64 {
     match op {
         UnOp::Neg => (x as i64).wrapping_neg() as u64,
@@ -371,6 +430,30 @@ mod tests {
         assert_eq!(eval_unop(UnOp::FNeg, 1.5f64.to_bits()), (-1.5f64).to_bits());
         assert_eq!(eval_unop(UnOp::FAbs, (-1.5f64).to_bits()), 1.5f64.to_bits());
         assert_eq!(eval_unop(UnOp::FSqrt, 9.0f64.to_bits()), 3.0f64.to_bits());
+    }
+
+    #[test]
+    fn static_exits_and_extent() {
+        let mut b = IrBlock::new(0x1000);
+        let t0 = b.new_temp();
+        b.stmts.push(Stmt::IMark { addr: 0x1000, len: 16 });
+        b.stmts.push(Stmt::WrTmp { dst: t0, rhs: Rhs::Atom(Atom::imm(1)) });
+        b.stmts.push(Stmt::Exit { guard: t0.into(), target: 0x2000, kind: JumpKind::Boring });
+        b.stmts.push(Stmt::IMark { addr: 0x1010, len: 16 });
+        b.next = Atom::imm(0x1020);
+        assert_eq!(b.side_exit_count(), 1);
+        let exits = b.static_exits();
+        assert_eq!(exits.len(), 2);
+        assert_eq!(exits[0], StaticExit { target: Some(0x2000), kind: JumpKind::Boring });
+        assert_eq!(exits[1], StaticExit { target: Some(0x1020), kind: JumpKind::Boring });
+        assert_eq!(b.extent(), (0x1000, 0x1020));
+
+        // Indirect fallthrough (computed next) has no static target.
+        b.next = t0.into();
+        assert_eq!(b.static_exits()[1].target, None);
+
+        // A block with no IMarks covers nothing.
+        assert_eq!(IrBlock::new(0x40).extent(), (0x40, 0x40));
     }
 
     #[test]

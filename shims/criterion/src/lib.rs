@@ -58,6 +58,13 @@ impl BenchmarkGroup {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // CI smoke runs override the sample count (e.g. TG_BENCH_SAMPLES=1)
+    // so bench code is exercised without paying for real measurements.
+    let sample_size = std::env::var("TG_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(sample_size);
     let mut b = Bencher { sample_size, samples: Vec::new() };
     f(&mut b);
     let s = &b.samples;
