@@ -2,9 +2,15 @@
 //! post-processing analysis is an embarrassingly parallel algorithm,
 //! but it is currently run sequentially". Sequential Algorithm 1 versus
 //! the crossbeam fan-out, on a segment graph with many unordered pairs.
+//!
+//! E12 extends this with the two hot-path rewrites: the sweep-based
+//! candidate generator versus the all-pairs loop at equal thread
+//! counts (a many-segment workload with mostly-disjoint footprints,
+//! where all-pairs burns its time proving segments never touch), and
+//! bulk access ingestion versus per-access interval-tree inserts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use taskgrind::analysis::{run, run_parallel, SuppressOptions};
+use taskgrind::analysis::{run, run_parallel, run_sweep, SuppressOptions};
 use taskgrind::graph::{GraphBuilder, SegmentGraph, ThreadMeta};
 use taskgrind::reach::Reachability;
 
@@ -24,6 +30,53 @@ fn wide_graph(tasks: u64) -> SegmentGraph {
         b.task_end(&m, t);
     }
     b.finalize()
+}
+
+/// The workload the sweep exists for: many unordered tasks whose
+/// footprints are mostly disjoint (per-task working sets), with small
+/// overlap cliques. All-pairs checks every one of the ~tasks²/2 pairs;
+/// the sweep only visits pairs that genuinely share addresses.
+fn sparse_graph(tasks: u64) -> SegmentGraph {
+    let mut b = GraphBuilder::new();
+    let m = ThreadMeta::default();
+    for i in 0..tasks {
+        let t = b.task_create(&m, 0, 0x100 + i);
+        b.task_spawn(&m, t);
+        b.task_begin(&m, t);
+        // private working set: 16 strided intervals nobody else touches
+        for k in 0..16u64 {
+            b.record_access(&m, 0x10_0000 + i * 0x1000 + k * 32, 8, true);
+        }
+        // cliques of 8 share one cache line
+        b.record_access(&m, 0x100 + (i % 8) * 64, 8, true);
+        b.task_end(&m, t);
+    }
+    b.finalize()
+}
+
+/// Per-access versus bulk ingestion: the same access stream recorded
+/// through `record_access` with each path, including the finalize-time
+/// drain the bulk path defers to.
+fn ingest(bulk: bool, segs: u64, accesses_per_seg: u64) -> usize {
+    let mut b = GraphBuilder::new();
+    b.set_bulk_ingest(bulk);
+    let m = ThreadMeta::default();
+    for i in 0..segs {
+        let t = b.task_create(&m, 0, 0x100 + i);
+        b.task_spawn(&m, t);
+        b.task_begin(&m, t);
+        for k in 0..accesses_per_seg {
+            // 3/4 dense sequential (absorbed by the last-interval fast
+            // path), 1/4 scattered (exercises the sort + coalesce)
+            if k % 4 != 3 {
+                b.record_access(&m, 0x10_0000 + i * 0x10000 + k * 8, 8, true);
+            } else {
+                b.record_access(&m, 0x80_0000 + (k * 2654435761) % 0x10000, 4, false);
+            }
+        }
+        b.task_end(&m, t);
+    }
+    b.finalize().segments.len()
 }
 
 fn bench_parallel(c: &mut Criterion) {
@@ -46,5 +99,46 @@ fn bench_parallel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parallel);
+/// E12a: sweep vs all-pairs at equal thread counts.
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_vs_allpairs");
+    g.sample_size(10);
+    let graph = sparse_graph(512);
+    let reach = Reachability::compute(&graph);
+    let opts = SuppressOptions::default();
+
+    // sanity: both engines agree before we time them
+    let a = run(&graph, &reach, &opts);
+    let s = run_sweep(&graph, &reach, &opts, 1);
+    assert_eq!(a.candidates, s.candidates, "engines disagree");
+
+    g.bench_function("allpairs_1", |b| {
+        b.iter(|| std::hint::black_box(run(&graph, &reach, &opts).candidates.len()))
+    });
+    g.bench_function("sweep_1", |b| {
+        b.iter(|| std::hint::black_box(run_sweep(&graph, &reach, &opts, 1).candidates.len()))
+    });
+    let threads = 4usize;
+    g.bench_function(format!("allpairs_{threads}"), |b| {
+        b.iter(|| {
+            std::hint::black_box(run_parallel(&graph, &reach, &opts, threads).candidates.len())
+        })
+    });
+    g.bench_function(format!("sweep_{threads}"), |b| {
+        b.iter(|| std::hint::black_box(run_sweep(&graph, &reach, &opts, threads).candidates.len()))
+    });
+    g.finish();
+}
+
+/// E12b: bulk vs per-access ingestion of the same access stream.
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("access_ingestion");
+    g.sample_size(10);
+    assert_eq!(ingest(true, 4, 64), ingest(false, 4, 64), "paths build different graphs");
+    g.bench_function("per_access", |b| b.iter(|| std::hint::black_box(ingest(false, 64, 4096))));
+    g.bench_function("bulk", |b| b.iter(|| std::hint::black_box(ingest(true, 64, 4096))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel, bench_sweep, bench_ingest);
 criterion_main!(benches);

@@ -15,7 +15,13 @@
 //!   --cache-blocks=<n>   translation-cache capacity in superblocks
 //!   --no-suppress        disable all analysis-time suppression
 //!   --suppressions=<f>   Valgrind-style report suppression file
-//!   --parallel-analysis=<n>  analysis host threads (default: 1)
+//!   --analysis-threads=<n>   analysis host threads (default: 0 = auto,
+//!                        std::thread::available_parallelism)
+//!   --parallel-analysis=<n>  alias for --analysis-threads
+//!   --no-sweep           all-pairs reference pair generation instead of
+//!                        the address-indexed sweep
+//!   --no-bulk            per-access interval-tree inserts instead of
+//!                        bulk ingestion (TG_NO_BULK=1 equivalent)
 //!   --dot=<file>         write the segment graph as Graphviz DOT
 //!   --disasm             dump the compiled guest binary and exit
 //! ```
@@ -34,7 +40,8 @@ fn usage() -> ! {
         "              [--random-sched] [--no-ignore-list] [--keep-free] [--no-static-filter]"
     );
     eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
-    eprintln!("              [--parallel-analysis=N] [--dot=FILE] [--disasm]");
+    eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk]");
+    eprintln!("              [--dot=FILE] [--disasm]");
     eprintln!("              <program.c> [-- args...]");
     eprintln!("       tgrind lint <program.c>");
     std::process::exit(2)
@@ -53,6 +60,8 @@ struct Opts {
     cache_blocks: Option<usize>,
     no_suppress: bool,
     analysis_threads: usize,
+    no_sweep: bool,
+    no_bulk: bool,
     suppressions: Option<String>,
     dot: Option<String>,
     disasm: bool,
@@ -73,7 +82,9 @@ fn parse_args() -> Opts {
         no_chaining: false,
         cache_blocks: None,
         no_suppress: false,
-        analysis_threads: 1,
+        analysis_threads: 0,
+        no_sweep: false,
+        no_bulk: false,
         suppressions: None,
         dot: None,
         disasm: false,
@@ -105,8 +116,14 @@ fn parse_args() -> Opts {
             o.cache_blocks = Some(v.parse().unwrap_or_else(|_| usage()));
         } else if a == "--no-suppress" {
             o.no_suppress = true;
-        } else if let Some(v) = a.strip_prefix("--parallel-analysis=") {
+        } else if let Some(v) =
+            a.strip_prefix("--analysis-threads=").or_else(|| a.strip_prefix("--parallel-analysis="))
+        {
             o.analysis_threads = v.parse().unwrap_or_else(|_| usage());
+        } else if a == "--no-sweep" {
+            o.no_sweep = true;
+        } else if a == "--no-bulk" {
+            o.no_bulk = true;
         } else if let Some(v) = a.strip_prefix("--suppressions=") {
             o.suppressions = Some(v.to_string());
         } else if let Some(v) = a.strip_prefix("--dot=") {
@@ -230,6 +247,7 @@ fn main() -> ExitCode {
                     },
                     replace_allocator: !o.keep_free,
                     static_filter: !o.no_static_filter,
+                    bulk_ingest: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
                     ..Default::default()
                 },
                 suppress: if o.no_suppress {
@@ -238,6 +256,7 @@ fn main() -> ExitCode {
                     SuppressOptions::default()
                 },
                 analysis_threads: o.analysis_threads,
+                sweep: !o.no_sweep,
                 suppressions: match &o.suppressions {
                     Some(path) => {
                         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -268,6 +287,15 @@ fn main() -> ExitCode {
                 r.analysis_secs,
                 r.graph.n_nodes(),
                 r.run.metrics.instrs,
+            );
+            eprintln!(
+                "== analysis: engine {} | {} thread(s) | {} candidate pair(s), {} unordered | {} raw range(s) | {:.3}s",
+                r.analysis_engine,
+                r.analysis_threads_used,
+                r.analysis.pairs_checked,
+                r.analysis.unordered_pairs,
+                r.analysis.raw_ranges,
+                r.analysis_secs,
             );
             eprintln!(
                 "== static filter: {} | {} site(s) pruned, {} instrumented, {} access(es) recorded",

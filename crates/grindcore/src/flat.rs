@@ -116,6 +116,13 @@ pub enum FOp {
     Dirty {
         idx: u32,
     },
+    /// Tool memory-access callback; `idx` indexes [`FlatBlock::memcbs`].
+    /// The hottest dirty call gets a dedicated op so the interpreter
+    /// reads two operands straight from the side table instead of
+    /// collecting an argument `Vec` per call.
+    MemCb {
+        idx: u32,
+    },
     /// Guarded side exit; `idx` indexes [`FlatBlock::exits`].
     Exit {
         guard: u32,
@@ -259,6 +266,18 @@ pub struct FDirty {
     pub instrs: u32,
 }
 
+/// Cold payload of a tool memory-access callback ([`FOp::MemCb`]).
+/// Same accounting contract as [`FDirty`]: `pc` is the guest pc of the
+/// access and `instrs` the retired count when the callback fires.
+#[derive(Clone, Copy, Debug)]
+pub struct FMemCb {
+    pub addr: u32,
+    pub size: u32,
+    pub write: bool,
+    pub pc: u64,
+    pub instrs: u32,
+}
+
 /// Descriptor of a guarded side exit.
 #[derive(Clone, Copy, Debug)]
 pub struct FExit {
@@ -286,6 +305,7 @@ pub struct FlatBlock {
     pub ops: Box<[FOp]>,
     pub consts: Box<[u64]>,
     pub dirties: Box<[FDirty]>,
+    pub memcbs: Box<[FMemCb]>,
     pub exits: Box<[FExit]>,
     pub traps: Box<[FTrap]>,
     /// Per-site inline caches of the block's load/store ops: each site
@@ -329,6 +349,7 @@ pub fn compile(ir: &IrBlock) -> FlatBlock {
     let mut ops = Vec::with_capacity(ir.stmts.len());
     let mut consts = Vec::new();
     let mut dirties = Vec::new();
+    let mut memcbs = Vec::new();
     let mut exits = Vec::new();
     let mut traps = Vec::new();
     let mut ics: Vec<PageIc> = Vec::new();
@@ -406,14 +427,25 @@ pub fn compile(ir: &IrBlock) -> FlatBlock {
                 });
             }
             Stmt::Dirty { call, args, dst } => {
-                dirties.push(FDirty {
-                    call: *call,
-                    args: args.iter().map(|a| operand(&mut consts, a)).collect(),
-                    dst: dst.map(|d| d.0),
-                    pc,
-                    instrs,
-                });
-                ops.push(FOp::Dirty { idx: (dirties.len() - 1) as u32 });
+                if let (DirtyCall::ToolMem { write }, None, 2) = (call, dst, args.len()) {
+                    memcbs.push(FMemCb {
+                        addr: operand(&mut consts, &args[0]),
+                        size: operand(&mut consts, &args[1]),
+                        write: *write,
+                        pc,
+                        instrs,
+                    });
+                    ops.push(FOp::MemCb { idx: (memcbs.len() - 1) as u32 });
+                } else {
+                    dirties.push(FDirty {
+                        call: *call,
+                        args: args.iter().map(|a| operand(&mut consts, a)).collect(),
+                        dst: dst.map(|d| d.0),
+                        pc,
+                        instrs,
+                    });
+                    ops.push(FOp::Dirty { idx: (dirties.len() - 1) as u32 });
+                }
             }
             Stmt::Exit { guard, target, kind } => {
                 exits.push(FExit { target: *target, kind: *kind, ord, instrs });
@@ -434,18 +466,19 @@ pub fn compile(ir: &IrBlock) -> FlatBlock {
     let ops = if std::env::var_os("TG_NO_FUSE").is_some() {
         ops
     } else {
-        fuse(ops, &mut consts, &dirties, next, ir.n_temps)
+        fuse(ops, &mut consts, &dirties, &memcbs, next, ir.n_temps)
     };
     if std::env::var_os("TG_FLAT_DEBUG").is_some() {
         eprintln!("flat {:#x}: {} -> {} ops", ir.base, pre, ops.len());
     }
-    let zero_temps = reads_undefined_temp(&ops, &dirties, next, ir.n_temps);
+    let zero_temps = reads_undefined_temp(&ops, &dirties, &memcbs, next, ir.n_temps);
     FlatBlock {
         base: ir.base,
         n_temps: ir.n_temps,
         ops: ops.into_boxed_slice(),
         consts: consts.into_boxed_slice(),
         dirties: dirties.into_boxed_slice(),
+        memcbs: memcbs.into_boxed_slice(),
         exits: exits.into_boxed_slice(),
         traps: traps.into_boxed_slice(),
         ics: ics.into_boxed_slice(),
@@ -458,9 +491,18 @@ pub fn compile(ir: &IrBlock) -> FlatBlock {
 }
 
 /// Temp-read counts over the whole block: ops' read operands, dirty
-/// argument lists, and the fallthrough target. A temp with exactly one
-/// read may have its defining op fused into the reader.
-fn use_counts(ops: &[FOp], dirties: &[FDirty], next: u32, n_temps: u32) -> Vec<u32> {
+/// argument lists, mem-callback operands, and the fallthrough target. A
+/// temp with exactly one read may have its defining op fused into the
+/// reader — so a [`FOp::MemCb`]'s operands MUST be counted here, or a
+/// temp read by both the callback and the actual load/store would look
+/// single-use and fusion would destroy it before the callback ran.
+fn use_counts(
+    ops: &[FOp],
+    dirties: &[FDirty],
+    memcbs: &[FMemCb],
+    next: u32,
+    n_temps: u32,
+) -> Vec<u32> {
     let mut uses = vec![0u32; n_temps as usize];
     let mut read = |o: u32| {
         if o & TMP_BIT != 0 {
@@ -473,6 +515,7 @@ fn use_counts(ops: &[FOp], dirties: &[FDirty], next: u32, n_temps: u32) -> Vec<u
         match *op {
             FOp::Get { .. }
             | FOp::Dirty { .. }
+            | FOp::MemCb { .. }
             | FOp::MovRR { .. }
             | FOp::BinRI { .. }
             | FOp::BinRIP { .. }
@@ -531,6 +574,10 @@ fn use_counts(ops: &[FOp], dirties: &[FDirty], next: u32, n_temps: u32) -> Vec<u
             read(a);
         }
     }
+    for m in memcbs {
+        read(m.addr);
+        read(m.size);
+    }
     read(next);
     uses
 }
@@ -546,6 +593,7 @@ fn fuse(
     mut ops: Vec<FOp>,
     consts: &mut Vec<u64>,
     dirties: &[FDirty],
+    memcbs: &[FMemCb],
     next: u32,
     n_temps: u32,
 ) -> Vec<FOp> {
@@ -559,7 +607,7 @@ fn fuse(
         })
     };
     loop {
-        let uses = use_counts(&ops, dirties, next, n_temps);
+        let uses = use_counts(&ops, dirties, memcbs, next, n_temps);
         // `dst` is only fusable if the next op is its one reader.
         let once = |t: u32| uses[t as usize] == 1;
         let tm = |t: u32| t | TMP_BIT;
@@ -702,7 +750,13 @@ fn fuse(
 /// `UseBeforeDef` rule): returns true if any operand can read a temp no
 /// earlier op defined, in which case the executor must zero the temp
 /// file to match the reference walker's zeroed buffer.
-fn reads_undefined_temp(ops: &[FOp], dirties: &[FDirty], next: u32, n_temps: u32) -> bool {
+fn reads_undefined_temp(
+    ops: &[FOp],
+    dirties: &[FDirty],
+    memcbs: &[FMemCb],
+    next: u32,
+    n_temps: u32,
+) -> bool {
     let mut defined = vec![false; n_temps as usize];
     let undef = |o: u32, d: &[bool]| {
         o & TMP_BIT != 0 && !d.get((o & !TMP_BIT) as usize).copied().unwrap_or(false)
@@ -774,6 +828,12 @@ fn reads_undefined_temp(ops: &[FOp], dirties: &[FDirty], next: u32, n_temps: u32
                 }
                 if let Some(t) = d.dst {
                     def(t, &mut defined);
+                }
+            }
+            FOp::MemCb { idx } => {
+                let m = &memcbs[idx as usize];
+                if undef(m.addr, &defined) || undef(m.size, &defined) {
+                    return true;
                 }
             }
             FOp::Exit { guard, .. } => {
@@ -920,6 +980,48 @@ mod tests {
             panic!("expected LdRP, got {:?}", f.ops[0]);
         };
         assert_eq!(f.consts[c as usize], -16i64 as u64);
+    }
+
+    #[test]
+    fn tool_mem_callbacks_compile_to_memcb_ops() {
+        // An instrumented load: the address temp is read by BOTH the
+        // callback and the load itself. The callback must become a
+        // MemCb (no argument Vec at run time) and its operand reads
+        // must keep the temp's use count at 2 so fusion cannot absorb
+        // the defining op into the load and skip the callback.
+        let mut b = IrBlock::new(0x1000);
+        b.n_temps = 2;
+        b.stmts.push(Stmt::IMark { addr: 0x1000, len: 16 });
+        b.stmts.push(Stmt::WrTmp {
+            dst: Temp(0),
+            rhs: Rhs::Binop { op: BinOp::Add, lhs: Atom::Const(0x5000), rhs: Atom::Const(8) },
+        });
+        b.stmts.push(Stmt::Dirty {
+            call: DirtyCall::ToolMem { write: false },
+            args: vec![Atom::Tmp(Temp(0)), Atom::imm(8)],
+            dst: None,
+        });
+        b.stmts.push(Stmt::WrTmp {
+            dst: Temp(1),
+            rhs: Rhs::Load { ty: Ty::I64, addr: Atom::Tmp(Temp(0)) },
+        });
+        b.next = Atom::imm(0x1010);
+        let f = compile(&b);
+        assert!(f.dirties.is_empty(), "ToolMem goes to the memcb table: {:?}", f.dirties);
+        assert_eq!(f.memcbs.len(), 1);
+        assert_eq!(f.memcbs[0].pc, 0x1000);
+        assert_eq!(f.memcbs[0].instrs, 1);
+        assert!(!f.memcbs[0].write);
+        assert!(
+            f.ops.iter().any(|o| matches!(o, FOp::MemCb { .. })),
+            "callback survives fusion: {:?}",
+            f.ops
+        );
+        assert!(
+            f.ops.iter().any(|o| matches!(o, FOp::Bin { .. })),
+            "the address def must NOT fuse past the callback: {:?}",
+            f.ops
+        );
     }
 
     #[test]

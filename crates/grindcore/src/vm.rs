@@ -11,7 +11,7 @@
 //! native scheduling, and the runtime's own scheduling state is guest
 //! memory like any other.
 
-use crate::flat::{FDirty, FOp, FlatBlock, TMP_BIT};
+use crate::flat::{FDirty, FMemCb, FOp, FlatBlock, TMP_BIT};
 use crate::lift::lift_superblock;
 use crate::mem::GuestMemory;
 use crate::syscalls;
@@ -941,6 +941,14 @@ impl Vm {
                     if let Some(d) = dst {
                         tmps[d as usize] = ret;
                     }
+                }
+                FOp::MemCb { idx } => {
+                    let FMemCb { addr, size, write, pc, instrs } = fb.memcbs[idx as usize];
+                    let a = fv!(addr);
+                    let s = fv!(size);
+                    self.core.metrics.instrs += (instrs - counted) as u64;
+                    counted = instrs;
+                    self.tool.mem_access(&mut self.core, tid, a, s, write, pc);
                 }
                 FOp::Exit { guard, idx } => {
                     if fv!(guard) != 0 {

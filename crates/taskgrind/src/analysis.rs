@@ -22,9 +22,22 @@
 //! The paper notes the pass is embarrassingly parallel but ran
 //! sequentially inside Valgrind; [`run`] implements both (the
 //! parallel variant is the paper's future-work item, used by bench E8).
+//!
+//! Pair generation comes in two shapes. The reference engines ([`run`],
+//! [`run_parallel`]) iterate all O(S²) segment pairs — faithful to
+//! Algorithm 1 but quadratic even when footprints are disjoint. The
+//! default engine ([`run_sweep`]) is address-indexed: a global endpoint
+//! sweep over every interesting segment's intervals emits exactly the
+//! pairs whose memory footprints overlap with at least one write
+//! involved — the pairs for which [`conflicts`] is non-empty — then the
+//! existing reachability + suppression pipeline runs on those. The
+//! sweep parallelizes by address shard; duplicate pairs from intervals
+//! spanning shard boundaries are deduplicated *before* analysis so
+//! suppression counters are never double-counted.
 
 use crate::graph::{SegId, SegmentGraph};
 use crate::reach::Reachability;
+use std::collections::HashSet;
 
 /// Suppression toggles (all on by default, as in the paper's tool).
 #[derive(Clone, Copy, Debug)]
@@ -64,12 +77,34 @@ pub struct AnalysisOutput {
     pub suppressed_stack: u64,
 }
 
+/// Both inputs are kept sorted at build time (`graph.rs` inserts locks
+/// and mutex objects in order), so a linear merge replaces the old
+/// O(n·m) `Vec::contains` scan.
 fn locks_intersect(a: &[u64], b: &[u64]) -> bool {
-    a.iter().any(|l| b.contains(l))
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// The suppression layer that killed a conflicting range. An enum (not
+/// a string) so [`analyze_pair`]'s match is exhaustive: adding a layer
+/// without counting it is a compile error, not a silently dropped
+/// statistic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suppression {
+    Mutexinoutset,
+    Tls,
+    Stack,
 }
 
 /// Classify one conflicting range against the suppression layers.
-/// Returns `None` if it survives, or the name of the suppressing layer.
+/// Returns `None` if it survives, or the suppressing layer.
 fn suppress_range(
     g: &SegmentGraph,
     opts: &SuppressOptions,
@@ -77,7 +112,7 @@ fn suppress_range(
     s2: SegId,
     lo: u64,
     hi: u64,
-) -> Option<&'static str> {
+) -> Option<Suppression> {
     let a = &g.segments[s1 as usize];
     let b = &g.segments[s2 as usize];
     if opts.mutexinoutset {
@@ -88,7 +123,7 @@ fn suppress_range(
                     &g.tasks[t2 as usize].mutex_objs,
                 )
             {
-                return Some("mutexinoutset");
+                return Some(Suppression::Mutexinoutset);
             }
         }
     }
@@ -97,7 +132,7 @@ fn suppress_range(
             s.tls_size > 0 && lo >= s.tls_base && hi <= s.tls_base + s.tls_size
         };
         if in_tls(a) && in_tls(b) {
-            return Some("tls");
+            return Some(Suppression::Tls);
         }
     }
     if opts.stack && a.thread == b.thread {
@@ -107,7 +142,7 @@ fn suppress_range(
         let local_to =
             |s: &crate::graph::Segment| lo >= s.stack_low && hi <= s.stack_high && hi <= s.start_sp;
         if local_to(a) && local_to(b) {
-            return Some("stack");
+            return Some(Suppression::Stack);
         }
     }
     None
@@ -151,12 +186,23 @@ fn analyze_pair(
     for (lo, hi) in ranges {
         match suppress_range(g, opts, s1, s2, lo, hi) {
             None => out.candidates.push(Candidate { seg1: s1, seg2: s2, lo, hi }),
-            Some("tls") => out.suppressed_tls += 1,
-            Some("stack") => out.suppressed_stack += 1,
-            Some("mutexinoutset") => out.suppressed_mutex += 1,
-            Some(_) => {}
+            Some(Suppression::Tls) => out.suppressed_tls += 1,
+            Some(Suppression::Stack) => out.suppressed_stack += 1,
+            Some(Suppression::Mutexinoutset) => out.suppressed_mutex += 1,
         }
     }
+}
+
+/// Fold a per-thread / per-shard partial into the aggregate output.
+fn merge_partial(out: &mut AnalysisOutput, p: AnalysisOutput) {
+    out.candidates.extend(p.candidates);
+    out.pairs_checked += p.pairs_checked;
+    out.unordered_pairs += p.unordered_pairs;
+    out.raw_ranges += p.raw_ranges;
+    out.suppressed_locks += p.suppressed_locks;
+    out.suppressed_mutex += p.suppressed_mutex;
+    out.suppressed_tls += p.suppressed_tls;
+    out.suppressed_stack += p.suppressed_stack;
 }
 
 /// Run Algorithm 1 sequentially.
@@ -173,12 +219,13 @@ pub fn run(g: &SegmentGraph, reach: &Reachability, opts: &SuppressOptions) -> An
             analyze_pair(g, opts, s1, s2, &mut out);
         }
     }
-    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo));
+    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo, c.hi));
     out
 }
 
-/// Run Algorithm 1 with the pair loop fanned out over `threads` host
-/// threads (the paper's future-work parallelization).
+/// Run Algorithm 1 with the all-pairs loop fanned out over `threads`
+/// host threads in a strided partition (the reference parallelization;
+/// [`run_sweep`] is the address-indexed default).
 pub fn run_parallel(
     g: &SegmentGraph,
     reach: &Reachability,
@@ -221,16 +268,171 @@ pub fn run_parallel(
     .unwrap();
     let mut out = AnalysisOutput::default();
     for p in partials {
-        out.candidates.extend(p.candidates);
-        out.pairs_checked += p.pairs_checked;
-        out.unordered_pairs += p.unordered_pairs;
-        out.raw_ranges += p.raw_ranges;
-        out.suppressed_locks += p.suppressed_locks;
-        out.suppressed_mutex += p.suppressed_mutex;
-        out.suppressed_tls += p.suppressed_tls;
-        out.suppressed_stack += p.suppressed_stack;
+        merge_partial(&mut out, p);
     }
-    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo));
+    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo, c.hi));
+    out
+}
+
+/// Resolve a requested analysis thread count: 0 means "auto", i.e.
+/// `std::thread::available_parallelism()`.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// One interval of an interesting segment, flattened for the sweep.
+#[derive(Clone, Copy)]
+struct SweepIv {
+    lo: u64,
+    hi: u64,
+    seg: SegId,
+    write: bool,
+}
+
+/// Sweep a lo-sorted interval list, emitting the segment pairs whose
+/// footprints overlap with at least one write involved — exactly the
+/// pairs for which [`conflicts`] returns a non-empty range list.
+/// Half-open semantics: intervals touching only at an endpoint do not
+/// pair (`a.hi > iv.lo` is strict), matching `IntervalTree::intersect`.
+fn sweep_pairs(ivs: &[SweepIv], out: &mut HashSet<(SegId, SegId)>) {
+    let mut active: Vec<SweepIv> = Vec::new();
+    for iv in ivs {
+        active.retain(|a| a.hi > iv.lo);
+        for a in &active {
+            if a.seg != iv.seg && (a.write || iv.write) {
+                let p = if a.seg < iv.seg { (a.seg, iv.seg) } else { (iv.seg, a.seg) };
+                out.insert(p);
+            }
+        }
+        active.push(*iv);
+    }
+}
+
+/// Below this many flattened intervals the sharding set-up costs more
+/// than the sweep itself; run one shard inline.
+const SHARD_THRESHOLD: usize = 512;
+
+/// Address-indexed candidate generation for every interesting segment's
+/// intervals: a global endpoint sweep emits only segment pairs whose
+/// footprints actually overlap (see [`sweep_pairs`]). Parallelized by
+/// address shard — shard boundaries are quantiles of the sorted interval
+/// starts, an interval lands in every shard its footprint overlaps
+/// (clipped to the shard's coordinate range), and cross-shard duplicate
+/// pairs are removed *before* the suppression pipeline runs so no
+/// counter is double-counted. The surviving pair list is then split
+/// across the same threads for `analyze_pair`.
+///
+/// `pairs_checked` / `unordered_pairs` are work metrics of *this*
+/// engine (pairs the sweep emitted), not the all-pairs totals; the
+/// verdict-bearing fields — candidates, `raw_ranges`, every
+/// `suppressed_*` counter — are bit-identical to [`run`]'s.
+pub fn run_sweep(
+    g: &SegmentGraph,
+    reach: &Reachability,
+    opts: &SuppressOptions,
+    threads: usize,
+) -> AnalysisOutput {
+    let threads = resolve_threads(threads);
+    let ids: Vec<SegId> = interesting_segments(g);
+    let mut ivs: Vec<SweepIv> = Vec::new();
+    for &id in &ids {
+        let s = &g.segments[id as usize];
+        for (lo, hi) in s.writes.iter() {
+            ivs.push(SweepIv { lo, hi, seg: id, write: true });
+        }
+        for (lo, hi) in s.reads.iter() {
+            ivs.push(SweepIv { lo, hi, seg: id, write: false });
+        }
+    }
+    ivs.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.seg, iv.write));
+
+    let mut set: HashSet<(SegId, SegId)> = HashSet::new();
+    if threads <= 1 || ivs.len() < SHARD_THRESHOLD {
+        sweep_pairs(&ivs, &mut set);
+    } else {
+        // shard boundaries at quantiles of the sorted interval starts
+        let mut bounds: Vec<u64> = vec![0];
+        for k in 1..threads {
+            bounds.push(ivs[k * ivs.len() / threads].lo);
+        }
+        bounds.push(u64::MAX);
+        bounds.dedup();
+        let nsh = bounds.len() - 1;
+        // route each interval to every shard its footprint overlaps,
+        // clipped to the shard's range; `ivs` is lo-sorted and clipping
+        // takes max(lo, shard_lo), so each shard list stays lo-sorted
+        let mut shards: Vec<Vec<SweepIv>> = vec![Vec::new(); nsh];
+        for iv in &ivs {
+            let first = bounds.partition_point(|&b| b <= iv.lo).saturating_sub(1);
+            for sh in first..nsh {
+                let (slo, shi) = (bounds[sh], bounds[sh + 1]);
+                if iv.lo >= shi {
+                    continue;
+                }
+                if iv.hi <= slo {
+                    break;
+                }
+                shards[sh].push(SweepIv { lo: iv.lo.max(slo), hi: iv.hi.min(shi), ..*iv });
+            }
+        }
+        let mut sets: Vec<HashSet<(SegId, SegId)>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for sh in &shards {
+                handles.push(scope.spawn(move |_| {
+                    let mut s = HashSet::new();
+                    sweep_pairs(sh, &mut s);
+                    s
+                }));
+            }
+            for h in handles {
+                sets.push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        for s in sets {
+            set.extend(s);
+        }
+    }
+    let mut pairs: Vec<(SegId, SegId)> = set.into_iter().collect();
+    pairs.sort_unstable();
+
+    let mut out = AnalysisOutput { pairs_checked: pairs.len() as u64, ..Default::default() };
+    let unordered: Vec<(SegId, SegId)> =
+        pairs.into_iter().filter(|&(s1, s2)| !reach.ordered(s1, s2)).collect();
+    out.unordered_pairs = unordered.len() as u64;
+    if threads <= 1 || unordered.len() < 2 * threads {
+        for &(s1, s2) in &unordered {
+            analyze_pair(g, opts, s1, s2, &mut out);
+        }
+    } else {
+        let chunk = unordered.len().div_ceil(threads);
+        let mut partials: Vec<AnalysisOutput> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for ch in unordered.chunks(chunk) {
+                handles.push(scope.spawn(move |_| {
+                    let mut p = AnalysisOutput::default();
+                    for &(s1, s2) in ch {
+                        analyze_pair(g, opts, s1, s2, &mut p);
+                    }
+                    p
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        for p in partials {
+            merge_partial(&mut out, p);
+        }
+    }
+    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo, c.hi));
     out
 }
 
@@ -512,6 +714,165 @@ mod tests {
             assert_eq!(seq.candidates, par.candidates, "threads={threads}");
             assert_eq!(seq.raw_ranges, par.raw_ranges);
             assert_eq!(seq.unordered_pairs, par.unordered_pairs);
+        }
+    }
+
+    /// Verdict-bearing fields must be bit-identical across engines;
+    /// pairs_checked/unordered_pairs are engine-specific work metrics.
+    fn assert_same_verdicts(a: &AnalysisOutput, b: &AnalysisOutput, ctx: &str) {
+        assert_eq!(a.candidates, b.candidates, "{ctx}");
+        assert_eq!(a.raw_ranges, b.raw_ranges, "{ctx}");
+        assert_eq!(a.suppressed_locks, b.suppressed_locks, "{ctx}");
+        assert_eq!(a.suppressed_mutex, b.suppressed_mutex, "{ctx}");
+        assert_eq!(a.suppressed_tls, b.suppressed_tls, "{ctx}");
+        assert_eq!(a.suppressed_stack, b.suppressed_stack, "{ctx}");
+    }
+
+    #[test]
+    fn sweep_matches_all_pairs_on_wide_fork() {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        for i in 0..24u64 {
+            let t = b.task_create(&m, 0, 0x100 + i);
+            b.task_spawn(&m, t);
+            b.task_begin(&m, t);
+            // overlapping cliques of 3, plus a shared read and a
+            // disjoint private write per task
+            b.record_access(&m, 0xA000 + (i % 3) * 8, 8, true);
+            b.record_access(&m, 0x9000, 8, false);
+            b.record_access(&m, 0x20000 + i * 64, 16, true);
+            b.task_end(&m, t);
+        }
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let seq = run(&g, &r, &SuppressOptions::default());
+        assert!(!seq.candidates.is_empty());
+        for threads in [1, 2, 4] {
+            let sw = run_sweep(&g, &r, &SuppressOptions::default(), threads);
+            assert_same_verdicts(&seq, &sw, &format!("threads={threads}"));
+            // the sweep emitted at most the all-pairs count, and every
+            // pair it emitted had a real footprint overlap
+            assert!(sw.pairs_checked <= seq.pairs_checked);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_with_suppressions_active() {
+        // exercise lock, mutexinoutset, TLS, and stack layers at once
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        for fnaddr in [0x1u64, 0x2] {
+            let t = b.task_create(&m, 0, fnaddr);
+            b.task_dep(t, 0xF000, 8, DepKind::Mutexinoutset);
+            b.task_spawn(&m, t);
+            b.task_begin(&m, t);
+            b.record_access(&m, 0xF000, 8, true); // mutexinoutset
+            b.record_access(&m, 0x110, 8, true); // TLS
+            b.record_access(&m, 0x6F00, 8, true); // segment-local stack
+            b.critical_enter(&m, 7);
+            b.record_access(&m, 0xE000, 8, true); // lock-protected
+            b.critical_exit(&m, 7);
+            b.record_access(&m, 0xA000, 8, true); // genuine race
+            b.task_end(&m, t);
+        }
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let seq = run(&g, &r, &SuppressOptions::default());
+        assert!(seq.suppressed_mutex > 0 || seq.suppressed_tls > 0 || seq.suppressed_stack > 0);
+        for threads in [1, 3] {
+            let sw = run_sweep(&g, &r, &SuppressOptions::default(), threads);
+            assert_same_verdicts(&seq, &sw, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn sweep_sharding_path_is_exercised() {
+        // enough flattened intervals to cross SHARD_THRESHOLD so the
+        // multi-shard code path actually runs
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        for i in 0..40u64 {
+            let t = b.task_create(&m, 0, 0x100 + i);
+            b.task_spawn(&m, t);
+            b.task_begin(&m, t);
+            for k in 0..10u64 {
+                // strided so intervals do not coalesce; neighbours share
+                // footprints across the whole address span
+                b.record_access(&m, 0x10000 + (i % 8) * 0x1000 + k * 32, 8, true);
+                b.record_access(&m, 0x80000 + k * 0x2000, 8, false);
+            }
+            b.task_end(&m, t);
+        }
+        let g = b.finalize();
+        let r = Reachability::compute(&g);
+        let n_ivs: usize =
+            g.segments.iter().filter(|s| !s.sync).map(|s| s.reads.len() + s.writes.len()).sum();
+        assert!(n_ivs >= super::SHARD_THRESHOLD, "test must cross the shard threshold: {n_ivs}");
+        let seq = run(&g, &r, &SuppressOptions::default());
+        for threads in [2, 4, 8] {
+            let sw = run_sweep(&g, &r, &SuppressOptions::default(), threads);
+            assert_same_verdicts(&seq, &sw, &format!("threads={threads}"));
+        }
+    }
+
+    proptest::proptest! {
+        /// Sweep engine output == all-pairs reference output — including
+        /// every suppression counter — on random task-structured graphs.
+        #[test]
+        fn sweep_matches_all_pairs_on_random_graphs(
+            ops in proptest::prop::collection::vec((0u8..7, 0u64..6, 0u8..2), 1..60),
+        ) {
+            let mut b = GraphBuilder::new();
+            let m = meta(0);
+            let mut live: Vec<u64> = Vec::new();
+            for (op, slot, wbit) in ops {
+                let write = wbit == 1;
+                match op {
+                    0 | 1 => {
+                        let t = b.task_create(&m, 0, 0x100 + live.len() as u64);
+                        if slot == 0 {
+                            b.task_dep(t, 0xF000, 8, DepKind::Mutexinoutset);
+                        }
+                        b.task_spawn(&m, t);
+                        live.push(t);
+                    }
+                    2 => {
+                        if let Some(t) = live.pop() {
+                            b.task_begin(&m, t);
+                            b.record_access(&m, 0xA000 + slot * 8, 8, write);
+                            b.record_access(&m, 0x110, 4, write); // TLS block
+                            b.record_access(&m, 0x6F00 + slot * 8, 8, true); // below sp
+                            b.task_end(&m, t);
+                        }
+                    }
+                    3 => b.taskwait(&m),
+                    4 => b.critical_enter(&m, 1 + slot % 2),
+                    5 => b.critical_exit(&m, 1 + slot % 2),
+                    _ => b.record_access(&m, 0xA000 + slot * 8, 8, write),
+                }
+            }
+            for t in live.drain(..) {
+                b.task_begin(&m, t);
+                b.record_access(&m, 0xA000, 8, true);
+                b.task_end(&m, t);
+            }
+            let g = b.finalize();
+            let r = Reachability::compute(&g);
+            for opts in [
+                SuppressOptions::default(),
+                SuppressOptions { tls: false, stack: false, locks: false, mutexinoutset: false },
+            ] {
+                let seq = run(&g, &r, &opts);
+                for threads in [1usize, 3] {
+                    let sw = run_sweep(&g, &r, &opts, threads);
+                    proptest::prop_assert_eq!(&seq.candidates, &sw.candidates);
+                    proptest::prop_assert_eq!(seq.raw_ranges, sw.raw_ranges);
+                    proptest::prop_assert_eq!(seq.suppressed_locks, sw.suppressed_locks);
+                    proptest::prop_assert_eq!(seq.suppressed_mutex, sw.suppressed_mutex);
+                    proptest::prop_assert_eq!(seq.suppressed_tls, sw.suppressed_tls);
+                    proptest::prop_assert_eq!(seq.suppressed_stack, sw.suppressed_stack);
+                }
+            }
         }
     }
 

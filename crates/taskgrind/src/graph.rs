@@ -234,6 +234,84 @@ impl SegmentGraph {
     }
 }
 
+/// Append-only access buffer for the bulk-ingestion path: flat
+/// `(lo, hi)` interval triples (split by direction) appended straight
+/// from the access callback, drained into the segment's interval trees
+/// when the segment closes. A one-entry "last interval" fast path
+/// absorbs dense sequential and strided accesses in place, so a tight
+/// array sweep costs one bounds check and a compare-extend per access
+/// instead of a `BTreeMap` insert.
+#[derive(Default)]
+struct AccessBuf {
+    reads: Vec<(u64, u64)>,
+    writes: Vec<(u64, u64)>,
+    /// Raw access counts represented by the buffers (the fast path
+    /// collapses entries, so `len()` undercounts).
+    n_reads: u64,
+    n_writes: u64,
+}
+
+impl AccessBuf {
+    #[inline]
+    fn push(&mut self, lo: u64, hi: u64, write: bool) {
+        if lo >= hi {
+            return;
+        }
+        let (v, n) = if write {
+            (&mut self.writes, &mut self.n_writes)
+        } else {
+            (&mut self.reads, &mut self.n_reads)
+        };
+        *n += 1;
+        if let Some(last) = v.last_mut() {
+            // touching or overlapping the previously appended interval:
+            // extend it in place (any merge is sound — the drain sorts
+            // and coalesces the whole buffer anyway)
+            if lo <= last.1 && last.0 <= hi {
+                last.0 = last.0.min(lo);
+                last.1 = last.1.max(hi);
+                return;
+            }
+        }
+        v.push((lo, hi));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.n_reads == 0 && self.n_writes == 0
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        ((self.reads.capacity() + self.writes.capacity()) * 16) as u64
+    }
+}
+
+/// Drain a context's access buffer into its current segment's trees.
+fn flush_buf(segments: &mut [Segment], c: &mut ExecCtx) {
+    if c.buf.is_empty() {
+        return;
+    }
+    let s = &mut segments[c.cur_seg as usize];
+    let reads = std::mem::take(&mut c.buf.reads);
+    let n_reads = std::mem::replace(&mut c.buf.n_reads, 0);
+    if n_reads > 0 {
+        s.reads.bulk_extend(reads, n_reads);
+    }
+    let writes = std::mem::take(&mut c.buf.writes);
+    let n_writes = std::mem::replace(&mut c.buf.n_writes, 0);
+    if n_writes > 0 {
+        s.writes.bulk_extend(writes, n_writes);
+    }
+}
+
+/// Insert into a sorted vector, keeping it sorted (duplicates kept,
+/// matching the old push semantics). Lock sets and mutex-object sets
+/// stay sorted at build time so [`crate::analysis`] can intersect them
+/// with a linear merge instead of an `O(n·m)` contains scan.
+fn insert_sorted(v: &mut Vec<u64>, x: u64) {
+    let pos = v.partition_point(|&e| e < x);
+    v.insert(pos, x);
+}
+
 struct ExecCtx {
     task: TaskId,
     cur_seg: SegId,
@@ -244,6 +322,8 @@ struct ExecCtx {
     /// call tree allocates lives below it, so §IV-D locality holds for
     /// all of the context's segments.
     base_sp: u64,
+    /// Pending accesses of `cur_seg` (bulk-ingestion mode only).
+    buf: AccessBuf,
 }
 
 struct TaskgroupState {
@@ -291,6 +371,10 @@ pub struct GraphBuilder {
     /// tools that do not scope deps to siblings set this).
     global_dep_scope: bool,
     cur_region: Option<u32>,
+    /// Bulk ingestion: buffer accesses per context and drain at segment
+    /// close (default). `false` is the per-access reference path
+    /// (`TG_NO_BULK` / `RecordOptions::bulk_ingest`).
+    bulk: bool,
 }
 
 impl Default for GraphBuilder {
@@ -314,7 +398,20 @@ impl GraphBuilder {
             ignore_undeferred: false,
             global_dep_scope: false,
             cur_region: None,
+            bulk: true,
         }
+    }
+
+    /// Toggle bulk access ingestion (see [`Self::record_access`]). The
+    /// reference per-access path is kept for the differential tests and
+    /// the `TG_NO_BULK` escape hatch; call before recording starts.
+    pub fn set_bulk_ingest(&mut self, v: bool) {
+        self.bulk = v;
+    }
+
+    /// Host bytes held by not-yet-drained access buffers (bulk mode).
+    pub fn pending_bytes(&self) -> u64 {
+        self.ctx.values().flatten().map(|c| c.buf.heap_bytes()).sum()
     }
 
     /// Baseline behaviour: match dependences by address only, ignoring
@@ -451,6 +548,7 @@ impl GraphBuilder {
                 locks: Vec::new(),
                 group: None,
                 base_sp: meta.sp,
+                buf: AccessBuf::default(),
             });
         }
         self.ctx[&meta.tid].len() - 1
@@ -461,10 +559,19 @@ impl GraphBuilder {
         self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap()
     }
 
+    /// Drain the top context's pending accesses into its current
+    /// segment. Must run before `cur_seg` changes or the context pops.
+    fn flush_top(&mut self, tid: Tid) {
+        if let Some(c) = self.ctx.get_mut(&tid).and_then(|s| s.last_mut()) {
+            flush_buf(&mut self.segments, c);
+        }
+    }
+
     /// Split the current segment of the thread's top context: a new
     /// segment ordered after the old one.
     fn split(&mut self, meta: &ThreadMeta, kind: &'static str) -> (SegId, SegId) {
         self.ensure_ctx(meta);
+        self.flush_top(meta.tid);
         let (task, old, locks, base_sp) = {
             let c = self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap();
             (c.task, c.cur_seg, c.locks.clone(), c.base_sp)
@@ -523,13 +630,15 @@ impl GraphBuilder {
             locks: Vec::new(),
             group: None,
             base_sp: meta.sp,
+            buf: AccessBuf::default(),
         });
     }
 
     pub fn implicit_task_end(&mut self, meta: &ThreadMeta, region: u64, _index: u64) {
         let end_node = self.regions.get(region as usize).map(|r| r.end_node);
         if let Some(stack) = self.ctx.get_mut(&meta.tid) {
-            if let Some(c) = stack.pop() {
+            if let Some(mut c) = stack.pop() {
+                flush_buf(&mut self.segments, &mut c);
                 self.tasks[c.task as usize].last_seg = Some(c.cur_seg);
                 if let Some(end) = end_node {
                     self.edge(c.cur_seg, end);
@@ -609,7 +718,7 @@ impl GraphBuilder {
             }
         }
         if kind == DepKind::Mutexinoutset {
-            self.tasks[task as usize].mutex_objs.push(addr);
+            insert_sorted(&mut self.tasks[task as usize].mutex_objs, addr);
         }
         let t = &mut self.tasks[task as usize];
         for p in preds {
@@ -634,6 +743,7 @@ impl GraphBuilder {
             locks: Vec::new(),
             group,
             base_sp: meta.sp,
+            buf: AccessBuf::default(),
         });
     }
 
@@ -647,7 +757,8 @@ impl GraphBuilder {
     pub fn task_end(&mut self, meta: &ThreadMeta, task: u64) {
         let task = task as TaskId;
         if let Some(stack) = self.ctx.get_mut(&meta.tid) {
-            if let Some(c) = stack.pop() {
+            if let Some(mut c) = stack.pop() {
+                flush_buf(&mut self.segments, &mut c);
                 self.tasks[c.task as usize].last_seg = Some(c.cur_seg);
             }
         }
@@ -742,6 +853,7 @@ impl GraphBuilder {
                 n
             }
         };
+        self.flush_top(meta.tid);
         let cur = self.top(meta).cur_seg;
         self.edge(cur, node);
         let task = self.top(meta).task;
@@ -764,7 +876,8 @@ impl GraphBuilder {
 
     pub fn critical_enter(&mut self, meta: &ThreadMeta, lock: u64) {
         self.ensure_ctx(meta);
-        self.top(meta).locks.push(lock);
+        self.flush_top(meta.tid);
+        insert_sorted(&mut self.top(meta).locks, lock);
         let locks = self.top(meta).locks.clone();
         let task = self.top(meta).task;
         let old = self.top(meta).cur_seg;
@@ -783,17 +896,30 @@ impl GraphBuilder {
 
     pub fn record_access(&mut self, meta: &ThreadMeta, addr: u64, size: u64, write: bool) {
         self.ensure_ctx(meta);
-        let seg = self.top(meta).cur_seg;
-        let s = &mut self.segments[seg as usize];
-        if write {
-            s.writes.insert(addr, addr + size);
+        let bulk = self.bulk;
+        let c = self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap();
+        if bulk {
+            // hot path: append to the context's flat buffer; the
+            // interval trees are built in bulk at segment close
+            c.buf.push(addr, addr + size, write);
         } else {
-            s.reads.insert(addr, addr + size);
+            let s = &mut self.segments[c.cur_seg as usize];
+            if write {
+                s.writes.insert(addr, addr + size);
+            } else {
+                s.reads.insert(addr, addr + size);
+            }
         }
     }
 
     /// Resolve deferred edges and produce the final graph.
     pub fn finalize(mut self) -> SegmentGraph {
+        // drain every context's pending accesses (bulk-ingestion mode)
+        for stack in self.ctx.values_mut() {
+            for c in stack.iter_mut() {
+                flush_buf(&mut self.segments, c);
+            }
+        }
         // any context still open: its current segment is the task's last
         for (_, stack) in self.ctx.iter() {
             for c in stack {

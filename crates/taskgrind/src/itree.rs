@@ -59,6 +59,43 @@ impl IntervalTree {
             return;
         }
         self.inserts += 1;
+        self.merge_in(lo, hi);
+    }
+
+    /// Bulk-load a batch of raw intervals recorded elsewhere (the
+    /// append-only access buffers of the bulk-ingestion path): one sort,
+    /// one linear coalesce, and — when the tree is still empty, the
+    /// common case for a segment drained exactly once at close — a
+    /// direct sorted build of the underlying map instead of `len(events)`
+    /// log-tree inserts. `raw_accesses` is the number of original
+    /// accesses the batch represents (the buffer may have absorbed dense
+    /// runs inline), credited to [`Self::accesses`].
+    pub fn bulk_extend(&mut self, mut events: Vec<(u64, u64)>, raw_accesses: u64) {
+        self.inserts += raw_accesses;
+        events.retain(|&(lo, hi)| lo < hi);
+        if events.is_empty() {
+            return;
+        }
+        events.sort_unstable();
+        let mut coalesced: Vec<(u64, u64)> = Vec::with_capacity(events.len());
+        for (lo, hi) in events {
+            match coalesced.last_mut() {
+                // overlapping or adjacent: extend in place
+                Some((_, phi)) if lo <= *phi => *phi = (*phi).max(hi),
+                _ => coalesced.push((lo, hi)),
+            }
+        }
+        if self.map.is_empty() {
+            self.map = coalesced.into_iter().collect();
+        } else {
+            for (lo, hi) in coalesced {
+                self.merge_in(lo, hi);
+            }
+        }
+    }
+
+    /// Merge `[lo, hi)` into the map without touching the access count.
+    fn merge_in(&mut self, lo: u64, hi: u64) {
         let mut new_lo = lo;
         let mut new_hi = hi;
         // Absorb a predecessor that touches [lo, hi).
@@ -287,7 +324,54 @@ mod tests {
         assert!(u.contains(0) && u.contains(9) && !u.contains(5));
     }
 
+    #[test]
+    fn bulk_extend_matches_insert_loop() {
+        let events = vec![(40u64, 48u64), (0, 8), (8, 16), (100, 108), (4, 20), (99, 100)];
+        let mut bulk = IntervalTree::new();
+        bulk.bulk_extend(events.clone(), events.len() as u64);
+        let mut reference = IntervalTree::new();
+        for &(lo, hi) in &events {
+            reference.insert(lo, hi);
+        }
+        assert_eq!(bulk, reference);
+        assert_eq!(bulk.accesses(), reference.accesses());
+        // extending a non-empty tree goes through the merge path
+        bulk.bulk_extend(vec![(16, 40), (200, 204)], 2);
+        reference.insert(16, 40);
+        reference.insert(200, 204);
+        assert_eq!(bulk, reference);
+    }
+
+    #[test]
+    fn bulk_extend_degenerate_and_empty() {
+        let mut t = IntervalTree::new();
+        t.bulk_extend(Vec::new(), 0);
+        assert!(t.is_empty());
+        t.bulk_extend(vec![(5, 5), (9, 3)], 0);
+        assert!(t.is_empty());
+    }
+
     proptest! {
+        #[test]
+        fn bulk_extend_equals_incremental(
+            batches in prop::collection::vec(
+                prop::collection::vec((0u64..400, 1u64..48), 0..60), 1..4),
+        ) {
+            let mut bulk = IntervalTree::new();
+            let mut reference = IntervalTree::new();
+            for batch in batches {
+                let events: Vec<(u64, u64)> =
+                    batch.iter().map(|&(lo, len)| (lo, lo + len)).collect();
+                for &(lo, hi) in &events {
+                    reference.insert(lo, hi);
+                }
+                let n = events.len() as u64;
+                bulk.bulk_extend(events, n);
+            }
+            prop_assert_eq!(&bulk, &reference);
+            prop_assert_eq!(bulk.accesses(), reference.accesses());
+        }
+
         #[test]
         fn tree_matches_naive_model(
             ops in prop::collection::vec((0u64..256, 1u64..32), 1..120),

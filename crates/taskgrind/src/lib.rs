@@ -66,7 +66,7 @@ use tga::module::Module;
 use tool::{RecordOptions, TaskgrindTool};
 
 /// Full configuration for a Taskgrind run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct TaskgrindConfig {
     /// VM configuration (thread count, scheduler seed, quantum, ...).
     pub vm: VmConfig,
@@ -74,11 +74,28 @@ pub struct TaskgrindConfig {
     pub record: RecordOptions,
     /// Suppression toggles for the analysis pass.
     pub suppress: SuppressOptions,
-    /// Host threads for the analysis pass; 1 = the paper's sequential
-    /// pass, >1 = the future-work parallel pass.
+    /// Host threads for the analysis pass; 0 = auto
+    /// (`std::thread::available_parallelism`), 1 = the paper's
+    /// sequential pass.
     pub analysis_threads: usize,
+    /// Use the sweep-based candidate generator (address-indexed pair
+    /// generation). `--no-sweep` restores the all-pairs reference loop.
+    pub sweep: bool,
     /// Valgrind-style report suppressions (see [`suppressions`]).
     pub suppressions: suppressions::Suppressions,
+}
+
+impl Default for TaskgrindConfig {
+    fn default() -> Self {
+        TaskgrindConfig {
+            vm: VmConfig::default(),
+            record: RecordOptions::default(),
+            suppress: SuppressOptions::default(),
+            analysis_threads: 0,
+            sweep: true,
+            suppressions: suppressions::Suppressions::default(),
+        }
+    }
 }
 
 /// Everything a Taskgrind run produces.
@@ -114,6 +131,11 @@ pub struct TaskgrindResult {
     /// Dispatch-loop telemetry from the recording VM (chain hits,
     /// probes, evictions — see [`grindcore::VmStats`]).
     pub dispatch: grindcore::VmStats,
+    /// Which pair-generation engine the analysis ran ("sweep" or
+    /// "all-pairs").
+    pub analysis_engine: &'static str,
+    /// Host threads the analysis actually used (after resolving 0=auto).
+    pub analysis_threads_used: usize,
 }
 
 impl TaskgrindResult {
@@ -153,8 +175,11 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
     let t1 = Instant::now();
     let graph = rec.builder.finalize();
     let reach = Reachability::compute(&graph);
-    let analysis = if cfg.analysis_threads > 1 {
-        analysis::run_parallel(&graph, &reach, &cfg.suppress, cfg.analysis_threads)
+    let threads = analysis::resolve_threads(cfg.analysis_threads);
+    let analysis = if cfg.sweep {
+        analysis::run_sweep(&graph, &reach, &cfg.suppress, threads)
+    } else if threads > 1 {
+        analysis::run_parallel(&graph, &reach, &cfg.suppress, threads)
     } else {
         analysis::run(&graph, &reach, &cfg.suppress)
     };
@@ -183,6 +208,8 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
         sites_instrumented: rec.sites_instrumented,
         static_facts,
         dispatch: run_dispatch,
+        analysis_engine: if cfg.sweep { "sweep" } else { "all-pairs" },
+        analysis_threads_used: threads,
     }
 }
 

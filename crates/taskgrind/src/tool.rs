@@ -87,6 +87,10 @@ pub struct RecordOptions {
     /// Precomputed static facts. When `None` and `static_filter` is on,
     /// [`crate::check_module`] runs the analysis itself.
     pub static_facts: Option<Arc<StaticFacts>>,
+    /// Buffer accesses per execution context and bulk-build the interval
+    /// trees at segment close instead of one BTreeMap insert per access.
+    /// `TG_NO_BULK=1` restores the per-access reference path.
+    pub bulk_ingest: bool,
 }
 
 impl Default for RecordOptions {
@@ -98,6 +102,7 @@ impl Default for RecordOptions {
             replace_runtime_allocator: true,
             static_filter: true,
             static_facts: None,
+            bulk_ingest: std::env::var_os("TG_NO_BULK").is_none(),
         }
     }
 }
@@ -126,7 +131,7 @@ impl Recording {
         let seg_bytes: u64 = self.builder.segments.iter().map(|s| s.bytes()).sum();
         let block_bytes: u64 =
             self.blocks.iter().map(|b| 32 + b.alloc_stack.len() as u64 * 8).sum();
-        seg_bytes + block_bytes
+        seg_bytes + self.builder.pending_bytes() + block_bytes
     }
 }
 
@@ -139,9 +144,11 @@ pub struct TaskgrindTool {
 
 impl TaskgrindTool {
     pub fn new(opts: RecordOptions) -> TaskgrindTool {
+        let mut builder = GraphBuilder::new();
+        builder.set_bulk_ingest(opts.bulk_ingest);
         TaskgrindTool {
             state: Rc::new(RefCell::new(Recording {
-                builder: GraphBuilder::new(),
+                builder,
                 blocks: Vec::new(),
                 module: None,
                 accesses_recorded: 0,

@@ -1,0 +1,118 @@
+//! Differential tests for the two tool-side hot-path rewrites: the
+//! sweep-based candidate generator (`--no-sweep` reference: the
+//! all-pairs loop) and bulk access ingestion (`TG_NO_BULK` reference:
+//! one interval-tree insert per access). Both optimizations must be
+//! invisible in every verdict-bearing output: candidate list, raw-range
+//! and suppression counters, and the rendered report text must be
+//! bit-identical across the Table I corpus and mini-LULESH, under both
+//! dispatch engines (`--no-chaining` included).
+//!
+//! `pairs_checked` / `unordered_pairs` are deliberately NOT compared:
+//! they are work metrics of the pair generator (the sweep's whole point
+//! is to check fewer pairs), not verdicts.
+
+use taskgrind::tool::RecordOptions;
+use taskgrind::{check_module, TaskgrindConfig, TaskgrindResult};
+use tg_drb::corpus::{corpus, Suite};
+use tg_lulesh::harness::LuleshParams;
+use tg_lulesh::LULESH_MC;
+
+/// One engine combination under test.
+#[derive(Clone, Copy)]
+struct Engine {
+    label: &'static str,
+    sweep: bool,
+    bulk: bool,
+    threads: usize,
+}
+
+const REFERENCE: Engine = Engine { label: "reference", sweep: false, bulk: false, threads: 1 };
+
+const ENGINES: &[Engine] = &[
+    Engine { label: "sweep+bulk t1", sweep: true, bulk: true, threads: 1 },
+    Engine { label: "sweep+bulk t4", sweep: true, bulk: true, threads: 4 },
+    Engine { label: "sweep only", sweep: true, bulk: false, threads: 2 },
+    Engine { label: "bulk only", sweep: false, bulk: true, threads: 1 },
+];
+
+fn run(
+    m: &tga::module::Module,
+    args: &[&str],
+    nt: u64,
+    chaining: bool,
+    e: Engine,
+) -> TaskgrindResult {
+    let cfg = TaskgrindConfig {
+        vm: grindcore::VmConfig { nthreads: nt, chaining, ..Default::default() },
+        record: RecordOptions { bulk_ingest: e.bulk, ..Default::default() },
+        analysis_threads: e.threads,
+        sweep: e.sweep,
+        ..Default::default()
+    };
+    check_module(m, args, &cfg)
+}
+
+/// Everything verdict-bearing must match the reference bit for bit.
+fn assert_identical(a: &TaskgrindResult, b: &TaskgrindResult, ctx: &str) {
+    assert_eq!(a.analysis.candidates, b.analysis.candidates, "{ctx}: candidates");
+    assert_eq!(a.analysis.raw_ranges, b.analysis.raw_ranges, "{ctx}: raw_ranges");
+    assert_eq!(a.analysis.suppressed_locks, b.analysis.suppressed_locks, "{ctx}: locks");
+    assert_eq!(a.analysis.suppressed_mutex, b.analysis.suppressed_mutex, "{ctx}: mutex");
+    assert_eq!(a.analysis.suppressed_tls, b.analysis.suppressed_tls, "{ctx}: tls");
+    assert_eq!(a.analysis.suppressed_stack, b.analysis.suppressed_stack, "{ctx}: stack");
+    assert_eq!(a.accesses_recorded, b.accesses_recorded, "{ctx}: accesses recorded");
+    assert_eq!(a.n_reports(), b.n_reports(), "{ctx}: report count");
+    assert_eq!(a.render_all(), b.render_all(), "{ctx}: report text");
+}
+
+/// Sweep and bulk ingestion preserve every Table I verdict and counter,
+/// chaining on and off.
+#[test]
+fn sweep_and_bulk_preserve_table1_verdicts() {
+    let mut any_candidates = false;
+    for p in corpus() {
+        let Ok(m) = guest_rt::build_single(p.name, p.source) else {
+            continue; // ncs entries stay ncs either way
+        };
+        let threads: &[u64] = match p.suite {
+            Suite::Drb => &[4],
+            Suite::Tmb => &[1, 4],
+        };
+        for &nt in threads {
+            for chaining in [true, false] {
+                let reference = run(&m, &[], nt, chaining, REFERENCE);
+                any_candidates |= !reference.analysis.candidates.is_empty();
+                for &e in ENGINES {
+                    let opt = run(&m, &[], nt, chaining, e);
+                    let ctx =
+                        format!("{} ({nt} threads, chaining={chaining}) under {}", p.name, e.label);
+                    assert_identical(&reference, &opt, &ctx);
+                }
+            }
+        }
+    }
+    assert!(any_candidates, "the corpus must exercise non-empty candidate sets");
+}
+
+/// Same contract on mini-LULESH — the many-segment workload the sweep
+/// exists for, with deep interval sets feeding bulk ingestion.
+#[test]
+fn sweep_and_bulk_preserve_lulesh_output() {
+    let m = guest_rt::build_single("lulesh.c", LULESH_MC).expect("compiles");
+    let params =
+        LuleshParams { s: 4, tel: 2, tnl: 2, iters: 2, progress: false, racy: false, threads: 2 };
+    let args: Vec<String> = params.args();
+    let args: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    for chaining in [true, false] {
+        let reference = run(&m, &args, params.threads, chaining, REFERENCE);
+        assert!(
+            reference.analysis.raw_ranges > 0 || reference.analysis.pairs_checked > 0,
+            "mini-LULESH must exercise the analysis"
+        );
+        for &e in ENGINES {
+            let opt = run(&m, &args, params.threads, chaining, e);
+            let ctx = format!("lulesh (chaining={chaining}) under {}", e.label);
+            assert_identical(&reference, &opt, &ctx);
+        }
+    }
+}
