@@ -22,9 +22,21 @@
 //!                        the address-indexed sweep
 //!   --no-bulk            per-access interval-tree inserts instead of
 //!                        bulk ingestion (TG_NO_BULK=1 equivalent)
+//!   --no-fuse            disable peephole fusion in the lifter
+//!                        (TG_NO_FUSE=1 equivalent)
+//!   --streaming          online bounded-memory analysis: retire segments
+//!                        as the happens-before frontier passes them and
+//!                        analyze per epoch on a background pool
+//!                        (TG_STREAMING=1 equivalent)
+//!   --no-streaming       force the batch reference engine
+//!   --max-live-segments=<n>  streaming backpressure: block the guest
+//!                        when more closed segments are resident (0 = off)
 //!   --dot=<file>         write the segment graph as Graphviz DOT
 //!   --disasm             dump the compiled guest binary and exit
 //! ```
+//!
+//! Every engine escape hatch is resolved once, in [`EngineConfig`],
+//! with precedence **explicit flag > environment variable > default**.
 
 use grindcore::{SchedPolicy, VmConfig};
 use minicc::SourceFile;
@@ -40,10 +52,12 @@ fn usage() -> ! {
         "              [--random-sched] [--no-ignore-list] [--keep-free] [--no-static-filter]"
     );
     eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
-    eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk]");
+    eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk] [--no-fuse]");
+    eprintln!("              [--streaming|--no-streaming] [--max-live-segments=N]");
     eprintln!("              [--dot=FILE] [--disasm]");
     eprintln!("              <program.c> [-- args...]");
     eprintln!("       tgrind lint <program.c>");
+    eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_STREAMING (flags win over env)");
     std::process::exit(2)
 }
 
@@ -62,11 +76,69 @@ struct Opts {
     analysis_threads: usize,
     no_sweep: bool,
     no_bulk: bool,
+    no_fuse: bool,
+    streaming: bool,
+    no_streaming: bool,
+    max_live_segments: usize,
     suppressions: Option<String>,
     dot: Option<String>,
     disasm: bool,
     program: String,
     guest_args: Vec<String>,
+}
+
+/// Every engine escape hatch, resolved in one place. Precedence:
+/// explicit flag > environment variable > default.
+///
+/// | knob            | flag                        | env variable | default |
+/// |-----------------|-----------------------------|--------------|---------|
+/// | chaining        | `--no-chaining`             | —            | on      |
+/// | sweep engine    | `--no-sweep`                | —            | on      |
+/// | bulk ingestion  | `--no-bulk`                 | `TG_NO_BULK` | on      |
+/// | peephole fusion | `--no-fuse`                 | `TG_NO_FUSE` | on      |
+/// | static filter   | `--no-static-filter`        | —            | on      |
+/// | streaming       | `--streaming`/`--no-streaming` | `TG_STREAMING` | off |
+/// | backpressure    | `--max-live-segments=N`     | —            | 0 (off) |
+struct EngineConfig {
+    chaining: bool,
+    sweep: bool,
+    bulk: bool,
+    fuse: bool,
+    static_filter: bool,
+    streaming: bool,
+    max_live_segments: usize,
+}
+
+impl EngineConfig {
+    fn resolve(o: &Opts) -> EngineConfig {
+        EngineConfig {
+            chaining: !o.no_chaining,
+            sweep: !o.no_sweep,
+            bulk: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
+            fuse: !o.no_fuse && std::env::var_os("TG_NO_FUSE").is_none(),
+            static_filter: !o.no_static_filter,
+            streaming: if o.streaming {
+                true
+            } else if o.no_streaming {
+                false
+            } else {
+                std::env::var_os("TG_STREAMING").is_some()
+            },
+            max_live_segments: o.max_live_segments,
+        }
+    }
+
+    /// `TG_NO_FUSE` is read inside the lifter at translation time, so an
+    /// explicit `--no-fuse` (or an explicit absence, when only the env
+    /// var was set and no flag given) must be materialized in the
+    /// environment before the VM translates anything.
+    fn export_fuse(&self) {
+        if self.fuse {
+            std::env::remove_var("TG_NO_FUSE");
+        } else {
+            std::env::set_var("TG_NO_FUSE", "1");
+        }
+    }
 }
 
 fn parse_args() -> Opts {
@@ -85,6 +157,10 @@ fn parse_args() -> Opts {
         analysis_threads: 0,
         no_sweep: false,
         no_bulk: false,
+        no_fuse: false,
+        streaming: false,
+        no_streaming: false,
+        max_live_segments: 0,
         suppressions: None,
         dot: None,
         disasm: false,
@@ -124,6 +200,14 @@ fn parse_args() -> Opts {
             o.no_sweep = true;
         } else if a == "--no-bulk" {
             o.no_bulk = true;
+        } else if a == "--no-fuse" {
+            o.no_fuse = true;
+        } else if a == "--streaming" {
+            o.streaming = true;
+        } else if a == "--no-streaming" {
+            o.no_streaming = true;
+        } else if let Some(v) = a.strip_prefix("--max-live-segments=") {
+            o.max_live_segments = v.parse().unwrap_or_else(|_| usage());
         } else if let Some(v) = a.strip_prefix("--suppressions=") {
             o.suppressions = Some(v.to_string());
         } else if let Some(v) = a.strip_prefix("--dot=") {
@@ -170,11 +254,13 @@ fn main() -> ExitCode {
         })
     };
 
+    let eng = EngineConfig::resolve(&o);
+    eng.export_fuse();
     let vm = VmConfig {
         nthreads: o.threads,
         seed: o.seed,
         sched: if o.random { SchedPolicy::Random } else { SchedPolicy::RoundRobin },
-        chaining: !o.no_chaining,
+        chaining: eng.chaining,
         cache_blocks: o.cache_blocks.unwrap_or_else(|| VmConfig::default().cache_blocks),
         ..Default::default()
     };
@@ -246,8 +332,8 @@ fn main() -> ExitCode {
                         taskgrind::tool::default_ignore_list()
                     },
                     replace_allocator: !o.keep_free,
-                    static_filter: !o.no_static_filter,
-                    bulk_ingest: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
+                    static_filter: eng.static_filter,
+                    bulk_ingest: eng.bulk,
                     ..Default::default()
                 },
                 suppress: if o.no_suppress {
@@ -256,7 +342,9 @@ fn main() -> ExitCode {
                     SuppressOptions::default()
                 },
                 analysis_threads: o.analysis_threads,
-                sweep: !o.no_sweep,
+                sweep: eng.sweep,
+                streaming: eng.streaming,
+                max_live_segments: eng.max_live_segments,
                 suppressions: match &o.suppressions {
                     Some(path) => {
                         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -298,8 +386,16 @@ fn main() -> ExitCode {
                 r.analysis_secs,
             );
             eprintln!(
+                "== analysis: {} epoch(s), {} segment(s) retired, {} throttle wait(s) | peak {} live segment(s), {} high-water tool byte(s)",
+                r.analysis_epochs,
+                r.retired_segments,
+                r.throttle_waits,
+                r.peak_live_segments,
+                r.peak_tool_bytes,
+            );
+            eprintln!(
                 "== static filter: {} | {} site(s) pruned, {} instrumented, {} access(es) recorded",
-                if o.no_static_filter { "off" } else { "on" },
+                if eng.static_filter { "on" } else { "off" },
                 r.sites_pruned,
                 r.sites_instrumented,
                 r.accesses_recorded,
@@ -307,7 +403,7 @@ fn main() -> ExitCode {
             let d = &r.dispatch;
             eprintln!(
                 "== dispatch: chaining {} | {} chain hit(s) ({} ibtc), {} probe(s), {} translation(s), {} eviction(s), {} discard(s)",
-                if o.no_chaining { "off" } else { "on" },
+                if eng.chaining { "on" } else { "off" },
                 d.chain_hits,
                 d.ibtc_hits,
                 d.probes,

@@ -33,7 +33,7 @@ pub mod tcache;
 pub mod tool;
 pub mod vm;
 
-pub use tool::{BlockMeta, FnReplacement, Tool};
+pub use tool::{BlockMeta, FnReplacement, SyncKind, Tool};
 pub use vm::{
     AddrClass, ExecMode, Metrics, RunResult, SchedPolicy, ThreadStatus, Tid, Vm, VmConfig, VmCore,
     VmError, VmStats,

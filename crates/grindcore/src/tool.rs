@@ -44,6 +44,79 @@ pub fn pattern_matches(pattern: &str, name: &str) -> bool {
     }
 }
 
+/// Classification of a synchronization client request, delivered to
+/// [`Tool::sync_point`] after the request itself has been handled.
+///
+/// The VM is single-threaded: guest threads interleave under one
+/// deterministic scheduler, so these events arrive in a total order.
+/// Together with the monotonic sequence number passed alongside, that is
+/// enough ordering information for a tool to maintain an online
+/// happens-before frontier (e.g. to retire analysis state for program
+/// regions that can no longer race with the future) without any global
+/// state of its own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncKind {
+    ParallelBegin,
+    ParallelEnd,
+    ImplicitTaskBegin,
+    ImplicitTaskEnd,
+    TaskCreate,
+    TaskSpawn,
+    TaskBegin,
+    TaskEnd,
+    Taskwait,
+    TaskgroupBegin,
+    TaskgroupEnd,
+    Barrier,
+    CriticalEnter,
+    CriticalExit,
+    TaskFulfill,
+}
+
+impl SyncKind {
+    /// Map a client-request code to its sync classification, if it is a
+    /// synchronization event at all.
+    pub fn from_creq(code: u64) -> Option<SyncKind> {
+        use crate::creq::*;
+        Some(match code {
+            PARALLEL_BEGIN => SyncKind::ParallelBegin,
+            PARALLEL_END => SyncKind::ParallelEnd,
+            IMPLICIT_TASK_BEGIN => SyncKind::ImplicitTaskBegin,
+            IMPLICIT_TASK_END => SyncKind::ImplicitTaskEnd,
+            TASK_CREATE => SyncKind::TaskCreate,
+            TASK_SPAWN => SyncKind::TaskSpawn,
+            TASK_BEGIN => SyncKind::TaskBegin,
+            TASK_END => SyncKind::TaskEnd,
+            TASKWAIT => SyncKind::Taskwait,
+            TASKGROUP_BEGIN => SyncKind::TaskgroupBegin,
+            TASKGROUP_END => SyncKind::TaskgroupEnd,
+            BARRIER => SyncKind::Barrier,
+            CRITICAL_ENTER => SyncKind::CriticalEnter,
+            CRITICAL_EXIT => SyncKind::CriticalExit,
+            TASK_FULFILL => SyncKind::TaskFulfill,
+            _ => return None,
+        })
+    }
+
+    /// True for events after which a segment that was running can have
+    /// closed: these are the natural points to recompute a retirement
+    /// frontier.
+    pub fn closes_segments(self) -> bool {
+        matches!(
+            self,
+            SyncKind::ParallelEnd
+                | SyncKind::ImplicitTaskEnd
+                | SyncKind::TaskEnd
+                | SyncKind::Taskwait
+                | SyncKind::TaskgroupEnd
+                | SyncKind::Barrier
+                | SyncKind::CriticalEnter
+                | SyncKind::CriticalExit
+                | SyncKind::TaskFulfill
+        )
+    }
+}
+
 /// The tool plugin trait. All hooks have no-op defaults so simple tools
 /// implement only what they need.
 #[allow(unused_variables)]
@@ -81,6 +154,15 @@ pub trait Tool {
     fn client_request(&mut self, core: &mut VmCore, tid: Tid, code: u64, args: [u64; 5]) -> u64 {
         0
     }
+
+    /// A synchronization client request completed. Fired immediately
+    /// after [`Tool::client_request`] for requests whose code classifies
+    /// as a [`SyncKind`]; `seq` is the global (cross-thread) client-
+    /// request sequence number, monotonically increasing in the VM's
+    /// deterministic event order. Tools that analyze online use this to
+    /// advance their retirement frontier at exactly the points where
+    /// happens-before edges form.
+    fn sync_point(&mut self, core: &mut VmCore, tid: Tid, kind: SyncKind, seq: u64) {}
 
     /// Guest functions this tool wants to replace.
     fn replacements(&self) -> Vec<FnReplacement> {

@@ -801,7 +801,12 @@ impl Vm {
             self.discard_translations(args[0], args[0].saturating_add(args[1]));
             return 0;
         }
-        self.tool.client_request(&mut self.core, tid, code, args)
+        let ret = self.tool.client_request(&mut self.core, tid, code, args);
+        if let Some(kind) = crate::tool::SyncKind::from_creq(code) {
+            let seq = self.core.metrics.client_requests;
+            self.tool.sync_point(&mut self.core, tid, kind, seq);
+        }
+        ret
     }
 
     /// Execute one flat-compiled superblock (chained engine), returning

@@ -1,0 +1,57 @@
+//! Experiment E13: streaming segment retirement vs the batch engine on
+//! dependent task-based LULESH with the Table II configuration
+//! (`-s 16 -tel 4 -tnl 4 -p -i 4`).
+//!
+//! Usage: `cargo run -p tg-lulesh --bin e13_streaming --release [-- --small]`
+//!
+//! Reports, per engine: wall-clock for the full check (recording +
+//! analysis — the streaming engine overlaps them), the tool-structure
+//! high-water mark (closed interval trees + pending bulk buffers), and
+//! the retirement counters. Both engines must agree on every
+//! verdict-bearing output; this binary asserts that before printing.
+
+use std::time::Instant;
+
+use taskgrind::{check_module, TaskgrindConfig};
+use tg_lulesh::harness::LuleshParams;
+use tg_lulesh::LULESH_MC;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let small = argv.iter().any(|a| a == "--small");
+    let s = if small { 8 } else { 16 };
+
+    let params = LuleshParams { s, ..Default::default() };
+    let args_owned = params.args();
+    let args: Vec<&str> = args_owned.iter().map(|s| s.as_str()).collect();
+    let m = guest_rt::build_single("lulesh.c", LULESH_MC).expect("compiles");
+
+    let run = |streaming: bool| {
+        let cfg = TaskgrindConfig {
+            vm: grindcore::VmConfig { nthreads: params.threads, ..Default::default() },
+            streaming,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let r = check_module(&m, &args, &cfg);
+        let t = t0.elapsed().as_secs_f64();
+        (r, t)
+    };
+
+    println!("E13 — streaming vs batch, LULESH -s {s} -tel 4 -tnl 4 -p -i 4");
+    let (batch, t_batch) = run(false);
+    let (stream, t_stream) = run(true);
+
+    assert_eq!(batch.analysis.candidates, stream.analysis.candidates, "verdicts must match");
+    assert_eq!(batch.render_all(), stream.render_all(), "report text must match");
+
+    for (label, r, t) in [("batch", &batch, t_batch), ("streaming", &stream, t_stream)] {
+        println!(
+            "{label:<10} wall {t:>7.3} s | high-water {:>10} B | {} epochs, {} retired, peak {} live segs",
+            r.peak_tool_bytes, r.analysis_epochs, r.retired_segments, r.peak_live_segments
+        );
+    }
+    let dmem = 100.0 * (1.0 - stream.peak_tool_bytes as f64 / batch.peak_tool_bytes.max(1) as f64);
+    let dt = 100.0 * (t_stream / t_batch - 1.0);
+    println!("high-water reduction {dmem:.1}% | wall-clock delta {dt:+.1}%");
+}

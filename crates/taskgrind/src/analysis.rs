@@ -35,8 +35,10 @@
 //! spanning shard boundaries are deduplicated *before* analysis so
 //! suppression counters are never double-counted.
 
-use crate::graph::{SegId, SegmentGraph};
+use crate::graph::{SegId, SegmentGraph, TaskId};
+use crate::itree::IntervalTree;
 use crate::reach::Reachability;
+use grindcore::Tid;
 use std::collections::HashSet;
 
 /// Suppression toggles (all on by default, as in the paper's tool).
@@ -93,8 +95,8 @@ fn locks_intersect(a: &[u64], b: &[u64]) -> bool {
 }
 
 /// The suppression layer that killed a conflicting range. An enum (not
-/// a string) so [`analyze_pair`]'s match is exhaustive: adding a layer
-/// without counting it is a compile error, not a silently dropped
+/// a string) so [`analyze_pair_views`]'s match is exhaustive: adding a
+/// layer without counting it is a compile error, not a silently dropped
 /// statistic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Suppression {
@@ -103,34 +105,75 @@ pub enum Suppression {
     Stack,
 }
 
+/// A borrowed view of everything pair analysis needs from one segment.
+///
+/// Both engines construct these — the batch engines straight from
+/// [`SegmentGraph`] storage ([`SegView::of`]), the streaming engine
+/// from retired-epoch snapshots whose interval trees have already been
+/// detached from the graph — so the conflict-intersection and
+/// suppression pipeline is a single code path and its verdicts cannot
+/// drift between engines.
+#[derive(Clone, Copy)]
+pub struct SegView<'a> {
+    pub id: SegId,
+    pub reads: &'a IntervalTree,
+    pub writes: &'a IntervalTree,
+    /// Critical-section locks held throughout the segment (sorted).
+    pub locks: &'a [u64],
+    pub thread: Tid,
+    pub start_sp: u64,
+    pub stack_low: u64,
+    pub stack_high: u64,
+    pub tls_base: u64,
+    pub tls_size: u64,
+    pub tls_gen: u64,
+    pub task: Option<TaskId>,
+    /// `mutex_objs` of the owning task (sorted; empty when `task` is
+    /// `None`).
+    pub mutex_objs: &'a [u64],
+}
+
+impl<'a> SegView<'a> {
+    /// View of segment `id` inside a finalized graph.
+    pub fn of(g: &'a SegmentGraph, id: SegId) -> SegView<'a> {
+        let s = &g.segments[id as usize];
+        SegView {
+            id,
+            reads: &s.reads,
+            writes: &s.writes,
+            locks: &s.locks,
+            thread: s.thread,
+            start_sp: s.start_sp,
+            stack_low: s.stack_low,
+            stack_high: s.stack_high,
+            tls_base: s.tls_base,
+            tls_size: s.tls_size,
+            tls_gen: s.tls_gen,
+            task: s.task,
+            mutex_objs: s.task.map(|t| &g.tasks[t as usize].mutex_objs[..]).unwrap_or(&[]),
+        }
+    }
+}
+
 /// Classify one conflicting range against the suppression layers.
 /// Returns `None` if it survives, or the suppressing layer.
 fn suppress_range(
-    g: &SegmentGraph,
     opts: &SuppressOptions,
-    s1: SegId,
-    s2: SegId,
+    a: &SegView,
+    b: &SegView,
     lo: u64,
     hi: u64,
 ) -> Option<Suppression> {
-    let a = &g.segments[s1 as usize];
-    let b = &g.segments[s2 as usize];
     if opts.mutexinoutset {
         if let (Some(t1), Some(t2)) = (a.task, b.task) {
-            if t1 != t2
-                && locks_intersect(
-                    &g.tasks[t1 as usize].mutex_objs,
-                    &g.tasks[t2 as usize].mutex_objs,
-                )
-            {
+            if t1 != t2 && locks_intersect(a.mutex_objs, b.mutex_objs) {
                 return Some(Suppression::Mutexinoutset);
             }
         }
     }
     if opts.tls && a.thread == b.thread && a.tls_gen == b.tls_gen {
-        let in_tls = |s: &crate::graph::Segment| {
-            s.tls_size > 0 && lo >= s.tls_base && hi <= s.tls_base + s.tls_size
-        };
+        let in_tls =
+            |s: &SegView| s.tls_size > 0 && lo >= s.tls_base && hi <= s.tls_base + s.tls_size;
         if in_tls(a) && in_tls(b) {
             return Some(Suppression::Tls);
         }
@@ -139,8 +182,7 @@ fn suppress_range(
         // segment-local: both segments ran on the same thread and the
         // range lies below the stack frame registered at each segment's
         // start — frames created and destroyed within the segments
-        let local_to =
-            |s: &crate::graph::Segment| lo >= s.stack_low && hi <= s.stack_high && hi <= s.start_sp;
+        let local_to = |s: &SegView| lo >= s.stack_low && hi <= s.stack_high && hi <= s.start_sp;
         if local_to(a) && local_to(b) {
             return Some(Suppression::Stack);
         }
@@ -150,15 +192,45 @@ fn suppress_range(
 
 /// Conflicting byte ranges between two segments:
 /// `w1 ∩ (r2 ∪ w2)  ∪  w2 ∩ r1`.
-fn conflicts(g: &SegmentGraph, s1: SegId, s2: SegId) -> Vec<(u64, u64)> {
-    let a = &g.segments[s1 as usize];
-    let b = &g.segments[s2 as usize];
-    let mut out = a.writes.intersect(&b.writes);
-    out.extend(a.writes.intersect(&b.reads));
-    out.extend(b.writes.intersect(&a.reads));
+fn conflicts(a: &SegView, b: &SegView) -> Vec<(u64, u64)> {
+    let mut out = a.writes.intersect(b.writes);
+    out.extend(a.writes.intersect(b.reads));
+    out.extend(b.writes.intersect(a.reads));
     out.sort_unstable();
     out.dedup();
     out
+}
+
+/// Analyze one unordered pair through conflict intersection and the
+/// suppression layers, accumulating into `out`. The shared engine core:
+/// batch and streaming both land here.
+pub(crate) fn analyze_pair_views(
+    opts: &SuppressOptions,
+    a: &SegView,
+    b: &SegView,
+    out: &mut AnalysisOutput,
+) {
+    // Cheap rejection before building range lists.
+    if a.writes.is_empty() && b.writes.is_empty() {
+        return;
+    }
+    let ranges = conflicts(a, b);
+    if ranges.is_empty() {
+        return;
+    }
+    out.raw_ranges += ranges.len() as u64;
+    if opts.locks && locks_intersect(a.locks, b.locks) {
+        out.suppressed_locks += ranges.len() as u64;
+        return;
+    }
+    for (lo, hi) in ranges {
+        match suppress_range(opts, a, b, lo, hi) {
+            None => out.candidates.push(Candidate { seg1: a.id, seg2: b.id, lo, hi }),
+            Some(Suppression::Tls) => out.suppressed_tls += 1,
+            Some(Suppression::Stack) => out.suppressed_stack += 1,
+            Some(Suppression::Mutexinoutset) => out.suppressed_mutex += 1,
+        }
+    }
 }
 
 fn analyze_pair(
@@ -168,41 +240,26 @@ fn analyze_pair(
     s2: SegId,
     out: &mut AnalysisOutput,
 ) {
-    let a = &g.segments[s1 as usize];
-    let b = &g.segments[s2 as usize];
-    // Cheap rejection before building range lists.
-    if a.writes.is_empty() && b.writes.is_empty() {
-        return;
-    }
-    let ranges = conflicts(g, s1, s2);
-    if ranges.is_empty() {
-        return;
-    }
-    out.raw_ranges += ranges.len() as u64;
-    if opts.locks && locks_intersect(&a.locks, &b.locks) {
-        out.suppressed_locks += ranges.len() as u64;
-        return;
-    }
-    for (lo, hi) in ranges {
-        match suppress_range(g, opts, s1, s2, lo, hi) {
-            None => out.candidates.push(Candidate { seg1: s1, seg2: s2, lo, hi }),
-            Some(Suppression::Tls) => out.suppressed_tls += 1,
-            Some(Suppression::Stack) => out.suppressed_stack += 1,
-            Some(Suppression::Mutexinoutset) => out.suppressed_mutex += 1,
-        }
+    analyze_pair_views(opts, &SegView::of(g, s1), &SegView::of(g, s2), out);
+}
+
+impl AnalysisOutput {
+    /// Fold a per-thread / per-shard / per-epoch partial into `self`.
+    pub fn absorb(&mut self, p: AnalysisOutput) {
+        self.candidates.extend(p.candidates);
+        self.pairs_checked += p.pairs_checked;
+        self.unordered_pairs += p.unordered_pairs;
+        self.raw_ranges += p.raw_ranges;
+        self.suppressed_locks += p.suppressed_locks;
+        self.suppressed_mutex += p.suppressed_mutex;
+        self.suppressed_tls += p.suppressed_tls;
+        self.suppressed_stack += p.suppressed_stack;
     }
 }
 
 /// Fold a per-thread / per-shard partial into the aggregate output.
 fn merge_partial(out: &mut AnalysisOutput, p: AnalysisOutput) {
-    out.candidates.extend(p.candidates);
-    out.pairs_checked += p.pairs_checked;
-    out.unordered_pairs += p.unordered_pairs;
-    out.raw_ranges += p.raw_ranges;
-    out.suppressed_locks += p.suppressed_locks;
-    out.suppressed_mutex += p.suppressed_mutex;
-    out.suppressed_tls += p.suppressed_tls;
-    out.suppressed_stack += p.suppressed_stack;
+    out.absorb(p);
 }
 
 /// Run Algorithm 1 sequentially.
@@ -219,7 +276,7 @@ pub fn run(g: &SegmentGraph, reach: &Reachability, opts: &SuppressOptions) -> An
             analyze_pair(g, opts, s1, s2, &mut out);
         }
     }
-    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo, c.hi));
+    sort_candidates(&mut out.candidates);
     out
 }
 
@@ -270,7 +327,7 @@ pub fn run_parallel(
     for p in partials {
         merge_partial(&mut out, p);
     }
-    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo, c.hi));
+    sort_candidates(&mut out.candidates);
     out
 }
 
@@ -286,11 +343,34 @@ pub fn resolve_threads(threads: usize) -> usize {
 
 /// One interval of an interesting segment, flattened for the sweep.
 #[derive(Clone, Copy)]
-struct SweepIv {
-    lo: u64,
-    hi: u64,
-    seg: SegId,
-    write: bool,
+pub(crate) struct SweepIv {
+    pub(crate) lo: u64,
+    pub(crate) hi: u64,
+    pub(crate) seg: SegId,
+    pub(crate) write: bool,
+}
+
+/// Flatten one segment's interval trees into `ivs` for the sweep.
+pub(crate) fn flatten_intervals(
+    ivs: &mut Vec<SweepIv>,
+    id: SegId,
+    reads: &IntervalTree,
+    writes: &IntervalTree,
+) {
+    for (lo, hi) in writes.iter() {
+        ivs.push(SweepIv { lo, hi, seg: id, write: true });
+    }
+    for (lo, hi) in reads.iter() {
+        ivs.push(SweepIv { lo, hi, seg: id, write: false });
+    }
+}
+
+/// Canonical order for the merged candidate list. Every engine sorts
+/// with this key before the list reaches report generation, so batch,
+/// parallel, sweep and per-epoch streaming merges all render
+/// bit-identically.
+pub(crate) fn sort_candidates(v: &mut [Candidate]) {
+    v.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo, c.hi));
 }
 
 /// Sweep a lo-sorted interval list, emitting the segment pairs whose
@@ -298,7 +378,7 @@ struct SweepIv {
 /// pairs for which [`conflicts`] returns a non-empty range list.
 /// Half-open semantics: intervals touching only at an endpoint do not
 /// pair (`a.hi > iv.lo` is strict), matching `IntervalTree::intersect`.
-fn sweep_pairs(ivs: &[SweepIv], out: &mut HashSet<(SegId, SegId)>) {
+pub(crate) fn sweep_pairs(ivs: &[SweepIv], out: &mut HashSet<(SegId, SegId)>) {
     let mut active: Vec<SweepIv> = Vec::new();
     for iv in ivs {
         active.retain(|a| a.hi > iv.lo);
@@ -341,12 +421,7 @@ pub fn run_sweep(
     let mut ivs: Vec<SweepIv> = Vec::new();
     for &id in &ids {
         let s = &g.segments[id as usize];
-        for (lo, hi) in s.writes.iter() {
-            ivs.push(SweepIv { lo, hi, seg: id, write: true });
-        }
-        for (lo, hi) in s.reads.iter() {
-            ivs.push(SweepIv { lo, hi, seg: id, write: false });
-        }
+        flatten_intervals(&mut ivs, id, &s.reads, &s.writes);
     }
     ivs.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.seg, iv.write));
 
@@ -432,7 +507,7 @@ pub fn run_sweep(
             merge_partial(&mut out, p);
         }
     }
-    out.candidates.sort_unstable_by_key(|c| (c.seg1, c.seg2, c.lo, c.hi));
+    sort_candidates(&mut out.candidates);
     out
 }
 

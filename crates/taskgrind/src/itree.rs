@@ -351,6 +351,78 @@ mod tests {
         assert!(t.is_empty());
     }
 
+    /// The structural invariant every mutation must preserve: intervals
+    /// non-degenerate, strictly ordered, disjoint and non-adjacent
+    /// (adjacent ranges must have been coalesced).
+    fn assert_invariants(t: &IntervalTree) {
+        let v: Vec<_> = t.iter().collect();
+        for &(lo, hi) in &v {
+            assert!(lo < hi, "degenerate interval in {v:?}");
+        }
+        for w in v.windows(2) {
+            assert!(w[0].1 < w[1].0, "overlapping or adjacent intervals survived: {v:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_extend_empty_drain_is_noop() {
+        // a segment that buffered nothing still drains at close
+        let mut t = IntervalTree::new();
+        t.insert(10, 20);
+        let before: Vec<_> = t.iter().collect();
+        t.bulk_extend(Vec::new(), 0);
+        assert_eq!(t.iter().collect::<Vec<_>>(), before);
+        assert_eq!(t.accesses(), 1);
+        assert_invariants(&t);
+    }
+
+    #[test]
+    fn bulk_extend_single_interval() {
+        // both build paths: direct sorted build (empty tree) ...
+        let mut t = IntervalTree::new();
+        t.bulk_extend(vec![(64, 72)], 1);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(64, 72)]);
+        assert_eq!(t.accesses(), 1);
+        assert_invariants(&t);
+        // ... and the merge path (non-empty tree), bridging the gap
+        t.bulk_extend(vec![(72, 80)], 1);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(64, 80)]);
+        assert_eq!(t.accesses(), 2);
+        assert_invariants(&t);
+    }
+
+    #[test]
+    fn bulk_extend_fully_overlapping_run_coalesces_to_one() {
+        // every event covered by the first: one interval, all accesses
+        // credited (the buffer's raw count outlives the coalesce)
+        let events = vec![(0u64, 100u64), (10, 20), (20, 30), (0, 100), (99, 100)];
+        let mut t = IntervalTree::new();
+        t.bulk_extend(events, 5);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 100)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.accesses(), 5);
+        assert_invariants(&t);
+    }
+
+    #[test]
+    fn bulk_extend_adjacent_touching_intervals_coalesce() {
+        // touching but non-overlapping [0,8)[8,16)[16,24) — arrival order
+        // scrambled; half-open semantics make them one interval
+        let mut t = IntervalTree::new();
+        t.bulk_extend(vec![(8, 16), (16, 24), (0, 8)], 3);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 24)]);
+        assert_eq!(t.covered_bytes(), 24);
+        assert_invariants(&t);
+        // a second adjacent batch extends the same interval via merge_in
+        t.bulk_extend(vec![(24, 32)], 1);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 32)]);
+        assert_invariants(&t);
+        // near-adjacent (one-byte gap) must NOT coalesce
+        t.bulk_extend(vec![(34, 40)], 1);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 32), (34, 40)]);
+        assert_invariants(&t);
+    }
+
     proptest! {
         #[test]
         fn bulk_extend_equals_incremental(

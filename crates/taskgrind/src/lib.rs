@@ -52,6 +52,7 @@ pub mod graph;
 pub mod itree;
 pub mod reach;
 pub mod report;
+pub mod stream;
 pub mod suppressions;
 pub mod tool;
 
@@ -81,6 +82,16 @@ pub struct TaskgrindConfig {
     /// Use the sweep-based candidate generator (address-indexed pair
     /// generation). `--no-sweep` restores the all-pairs reference loop.
     pub sweep: bool,
+    /// Streaming segment retirement: analyze online, per retirement
+    /// epoch, on a background pool, freeing each segment's interval
+    /// trees as soon as the happens-before frontier proves it can no
+    /// longer race ([`graph::GraphBuilder::maybe_retire`]). Bounded
+    /// memory, bit-identical verdicts; `false` is the batch reference.
+    pub streaming: bool,
+    /// Streaming backpressure: when more than this many closed segments
+    /// are resident, block the guest until the analysis pool drains
+    /// (0 = unlimited).
+    pub max_live_segments: usize,
     /// Valgrind-style report suppressions (see [`suppressions`]).
     pub suppressions: suppressions::Suppressions,
 }
@@ -93,6 +104,8 @@ impl Default for TaskgrindConfig {
             suppress: SuppressOptions::default(),
             analysis_threads: 0,
             sweep: true,
+            streaming: false,
+            max_live_segments: 0,
             suppressions: suppressions::Suppressions::default(),
         }
     }
@@ -131,11 +144,22 @@ pub struct TaskgrindResult {
     /// Dispatch-loop telemetry from the recording VM (chain hits,
     /// probes, evictions — see [`grindcore::VmStats`]).
     pub dispatch: grindcore::VmStats,
-    /// Which pair-generation engine the analysis ran ("sweep" or
-    /// "all-pairs").
+    /// Which pair-generation engine the analysis ran ("sweep",
+    /// "all-pairs", or "streaming").
     pub analysis_engine: &'static str,
     /// Host threads the analysis actually used (after resolving 0=auto).
     pub analysis_threads_used: usize,
+    /// High-water count of segments with resident interval trees
+    /// (batch never retires, so its peak equals its total).
+    pub peak_live_segments: u64,
+    /// High-water bytes of closed interval trees + pending bulk buffers.
+    pub peak_tool_bytes: u64,
+    /// Retirement epochs the streaming engine emitted (0 in batch).
+    pub analysis_epochs: u64,
+    /// Segments retired before finalize (0 in batch).
+    pub retired_segments: u64,
+    /// Times the `max_live_segments` backpressure blocked the guest.
+    pub throttle_waits: u64,
 }
 
 impl TaskgrindResult {
@@ -159,6 +183,15 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
     let static_facts = record.static_facts.clone().filter(|_| record.static_filter);
     let tool = TaskgrindTool::new(record);
     let state = tool.state();
+    let threads = analysis::resolve_threads(cfg.analysis_threads);
+    // the streaming pipeline must exist before the first event: closed
+    // segments detach their trees from the very first segment on
+    let mut pipeline: Option<stream::Pipeline> = None;
+    if cfg.streaming {
+        let p = stream::Pipeline::new(threads, cfg.suppress);
+        state.borrow_mut().builder.enable_streaming(Box::new(p.sink()), cfg.max_live_segments);
+        pipeline = Some(p);
+    }
     let mut vm = Vm::new(module.clone(), Box::new(tool), cfg.vm.clone());
 
     let t0 = Instant::now();
@@ -173,15 +206,21 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
     let module_arc = rec.module.take().unwrap_or_else(|| Arc::new(module.clone()));
 
     let t1 = Instant::now();
-    let graph = rec.builder.finalize();
-    let reach = Reachability::compute(&graph);
-    let threads = analysis::resolve_threads(cfg.analysis_threads);
-    let analysis = if cfg.sweep {
-        analysis::run_sweep(&graph, &reach, &cfg.suppress, threads)
-    } else if threads > 1 {
-        analysis::run_parallel(&graph, &reach, &cfg.suppress, threads)
+    // finalize consumes the builder — and with it the pipeline's sink,
+    // so `finish` below sees end-of-stream once the final epoch drains
+    let builder = std::mem::take(&mut rec.builder);
+    let (graph, mem_stats) = builder.finalize_with_stats();
+    let analysis = if let Some(p) = pipeline {
+        p.finish()
     } else {
-        analysis::run(&graph, &reach, &cfg.suppress)
+        let reach = Reachability::compute(&graph);
+        if cfg.sweep {
+            analysis::run_sweep(&graph, &reach, &cfg.suppress, threads)
+        } else if threads > 1 {
+            analysis::run_parallel(&graph, &reach, &cfg.suppress, threads)
+        } else {
+            analysis::run(&graph, &reach, &cfg.suppress)
+        }
     };
     let reports = report::summarize(
         &graph,
@@ -208,8 +247,19 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
         sites_instrumented: rec.sites_instrumented,
         static_facts,
         dispatch: run_dispatch,
-        analysis_engine: if cfg.sweep { "sweep" } else { "all-pairs" },
+        analysis_engine: if cfg.streaming {
+            "streaming"
+        } else if cfg.sweep {
+            "sweep"
+        } else {
+            "all-pairs"
+        },
         analysis_threads_used: threads,
+        peak_live_segments: mem_stats.peak_live_segments,
+        peak_tool_bytes: mem_stats.peak_tool_bytes,
+        analysis_epochs: mem_stats.epochs,
+        retired_segments: mem_stats.retired_segments,
+        throttle_waits: mem_stats.throttle_waits,
     }
 }
 
@@ -252,6 +302,35 @@ int main(void) {
     return 0;
 }
 "#;
+
+    #[test]
+    fn streaming_engine_matches_batch() {
+        let m = guest_rt::build_single("test.c", RACY_TASKS).expect("compiles");
+        let base = TaskgrindConfig {
+            vm: VmConfig { nthreads: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let batch = check_module(&m, &[], &base);
+        for threads in [1usize, 4] {
+            let streamed = check_module(
+                &m,
+                &[],
+                &TaskgrindConfig { streaming: true, analysis_threads: threads, ..base.clone() },
+            );
+            assert_eq!(streamed.analysis.candidates, batch.analysis.candidates);
+            assert_eq!(streamed.analysis.raw_ranges, batch.analysis.raw_ranges);
+            assert_eq!(streamed.render_all(), batch.render_all());
+            assert_eq!(streamed.analysis_engine, "streaming");
+            assert!(streamed.retired_segments > 0, "streaming must retire segments");
+            assert!(streamed.analysis_epochs > 0);
+            assert!(
+                streamed.peak_live_segments <= batch.peak_live_segments,
+                "streaming peak {} > batch {}",
+                streamed.peak_live_segments,
+                batch.peak_live_segments
+            );
+        }
+    }
 
     #[test]
     fn detects_racy_tasks_multithreaded() {

@@ -23,14 +23,23 @@ impl Reachability {
     /// node mutually "ordered", which is conservative but flagged in
     /// debug builds.
     pub fn compute(g: &SegmentGraph) -> Reachability {
-        let n = g.n_nodes();
+        Reachability::compute_edges(g.n_nodes(), &g.edges)
+    }
+
+    /// Compute the closure from a bare edge list over `n` nodes.
+    /// The streaming engine uses this on per-epoch edge snapshots, where
+    /// no `SegmentGraph` exists yet; duplicate edges are harmless.
+    pub fn compute_edges(n: usize, edges: &[(SegId, SegId)]) -> Reachability {
         let words = n.div_ceil(64);
         let mut bits = vec![0u64; n * words];
-        let succ = g.successors();
+        let mut succ: Vec<Vec<SegId>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            succ[a as usize].push(b);
+        }
 
         // Kahn topological order.
         let mut indeg = vec![0u32; n];
-        for &(_, b) in &g.edges {
+        for &(_, b) in edges {
             indeg[b as usize] += 1;
         }
         let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();

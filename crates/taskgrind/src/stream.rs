@@ -1,0 +1,271 @@
+//! The streaming analysis pipeline: bounded-memory, online race
+//! analysis concurrent with guest execution.
+//!
+//! The batch engines record every segment's interval trees until the
+//! program exits, then analyze — the ~6× RSS overhead and O(s³) growth
+//! of the paper's Table II / Fig. 4. Streaming mode instead *retires*
+//! segments as soon as the happens-before frontier proves they can no
+//! longer race with any future segment (see
+//! [`crate::graph::GraphBuilder::maybe_retire`] for the frontier rule):
+//! the retired segments' trees are moved out of the graph into an
+//! [`Epoch`] message, shipped over a bounded channel to a pool of
+//! analysis workers, and freed once the epoch is analyzed. Only the
+//! skeletal graph (nodes, edges, task records) survives to program end.
+//!
+//! **Epoch contract.** Epoch `e` carries the retire set `S_e` (trees
+//! moved, `retired = true`) plus every still-closed unretired segment
+//! `C_e` (shared `Arc` snapshots, `retired = false`), and a snapshot of
+//! the edge list at emission. [`analyze_epoch`] generates footprint-
+//! overlapping pairs with the PR 3 sweep, keeps only pairs touching
+//! `S_e`, filters ordered pairs against reachability over the epoch
+//! edge snapshot, and runs the shared suppression pipeline
+//! ([`crate::analysis::analyze_pair_views`]). The frontier rule
+//! guarantees that (a) every pair analyzed at epoch `e` has the same
+//! ordered/unordered verdict under the epoch snapshot as under the
+//! final graph, and (b) every pair *not* analyzed at any epoch — one
+//! member retired before the other closed — is ordered in the final
+//! graph. Hence the union of per-epoch outputs equals the batch
+//! engine's output bit for bit: same candidates, same raw-range and
+//! suppression counters, and (after the canonical candidate sort) the
+//! same rendered reports.
+//!
+//! **Backpressure.** The channel is bounded: when analysis falls behind,
+//! `submit` blocks the (single-threaded, deterministically scheduled)
+//! VM, throttling the guest without perturbing the schedule digest. The
+//! `--max-live-segments` knob additionally forces a drain when too many
+//! closed segments are resident.
+
+use crate::analysis::{self, AnalysisOutput, SegView, SuppressOptions};
+use crate::graph::{SegId, TaskId};
+use crate::itree::IntervalTree;
+use crate::reach::Reachability;
+use grindcore::Tid;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A closed segment's interval trees, detached from the graph so the
+/// graph side frees its memory the moment the analysis side drops the
+/// last `Arc`.
+pub struct SegSnapshot {
+    pub reads: IntervalTree,
+    pub writes: IntervalTree,
+}
+
+impl SegSnapshot {
+    pub fn heap_bytes(&self) -> u64 {
+        self.reads.heap_bytes() + self.writes.heap_bytes()
+    }
+}
+
+/// One segment inside an epoch message: suppression metadata plus the
+/// tree snapshot. `retired` marks membership of the epoch's retire set.
+#[derive(Clone)]
+pub struct EpochSeg {
+    pub id: SegId,
+    pub retired: bool,
+    pub thread: Tid,
+    pub start_sp: u64,
+    pub stack_low: u64,
+    pub stack_high: u64,
+    pub tls_base: u64,
+    pub tls_size: u64,
+    pub tls_gen: u64,
+    pub locks: Vec<u64>,
+    pub task: Option<TaskId>,
+    /// `mutex_objs` of the owning task (final by close time: dependences
+    /// register before the task first runs).
+    pub mutex_objs: Vec<u64>,
+    pub trees: Arc<SegSnapshot>,
+}
+
+impl EpochSeg {
+    fn view(&self) -> SegView<'_> {
+        SegView {
+            id: self.id,
+            reads: &self.trees.reads,
+            writes: &self.trees.writes,
+            locks: &self.locks,
+            thread: self.thread,
+            start_sp: self.start_sp,
+            stack_low: self.stack_low,
+            stack_high: self.stack_high,
+            tls_base: self.tls_base,
+            tls_size: self.tls_size,
+            tls_gen: self.tls_gen,
+            task: self.task,
+            mutex_objs: &self.mutex_objs,
+        }
+    }
+}
+
+/// One retirement epoch, shipped from the builder to the analysis pool.
+pub struct Epoch {
+    /// Monotonic epoch number (diagnostics only).
+    pub seq: u64,
+    /// Node count at emission, sizing the reachability closure.
+    pub n_nodes: u32,
+    /// Edge-list snapshot at emission. The frontier rule makes verdicts
+    /// on the pairs analyzed here stable under all later edge arrivals.
+    pub edges: Arc<Vec<(SegId, SegId)>>,
+    /// Retire set first, then the still-live closed set.
+    pub segs: Vec<EpochSeg>,
+}
+
+/// Where [`crate::graph::GraphBuilder`] ships retirement epochs.
+pub trait EpochSink {
+    /// Hand one epoch to the analysis side. May block (bounded channel):
+    /// that block is the streaming engine's guest throttle.
+    fn submit(&mut self, e: Epoch);
+    /// Block until every submitted epoch has been analyzed.
+    fn wait_drained(&mut self);
+}
+
+/// Analyze one epoch. Pure function of the message — callable from pool
+/// workers and (synchronously) from tests.
+pub fn analyze_epoch(e: &Epoch, opts: &SuppressOptions) -> AnalysisOutput {
+    let mut ivs = Vec::new();
+    let mut by_id: HashMap<SegId, &EpochSeg> = HashMap::with_capacity(e.segs.len());
+    for s in &e.segs {
+        by_id.insert(s.id, s);
+        analysis::flatten_intervals(&mut ivs, s.id, &s.trees.reads, &s.trees.writes);
+    }
+    ivs.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.seg, iv.write));
+    let mut set: HashSet<(SegId, SegId)> = HashSet::new();
+    analysis::sweep_pairs(&ivs, &mut set);
+    // Pairs fully inside the live set are deferred: they re-emerge at
+    // the epoch where their first member retires, so each overlapping
+    // pair is analyzed exactly once across the run.
+    let mut pairs: Vec<(SegId, SegId)> =
+        set.into_iter().filter(|&(a, b)| by_id[&a].retired || by_id[&b].retired).collect();
+    pairs.sort_unstable();
+
+    let reach = Reachability::compute_edges(e.n_nodes as usize, &e.edges);
+    let mut out = AnalysisOutput { pairs_checked: pairs.len() as u64, ..Default::default() };
+    for (s1, s2) in pairs {
+        if reach.ordered(s1, s2) {
+            continue;
+        }
+        out.unordered_pairs += 1;
+        analysis::analyze_pair_views(opts, &by_id[&s1].view(), &by_id[&s2].view(), &mut out);
+    }
+    out
+}
+
+/// Background analysis pool: a bounded epoch channel fanned out to
+/// worker threads, each folding its epochs into a local partial that
+/// [`Pipeline::finish`] merges.
+pub struct Pipeline {
+    tx: Option<SyncSender<Epoch>>,
+    inflight: Arc<(Mutex<usize>, Condvar)>,
+    workers: Vec<std::thread::JoinHandle<AnalysisOutput>>,
+}
+
+/// Bounded channel capacity: small enough that a stalled analysis pool
+/// throttles the guest promptly, large enough to ride out bursts.
+const CHANNEL_CAP: usize = 8;
+
+impl Pipeline {
+    pub fn new(threads: usize, opts: SuppressOptions) -> Pipeline {
+        let (tx, rx) = sync_channel::<Epoch>(CHANNEL_CAP);
+        let rx = Arc::new(Mutex::new(rx));
+        let inflight: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let rx: Arc<Mutex<Receiver<Epoch>>> = rx.clone();
+                let inflight = inflight.clone();
+                std::thread::spawn(move || {
+                    let mut local = AnalysisOutput::default();
+                    loop {
+                        // hold the lock only to receive, not to analyze
+                        let msg = rx.lock().unwrap().recv();
+                        let Ok(e) = msg else { break };
+                        local.absorb(analyze_epoch(&e, &opts));
+                        drop(e); // free the retired trees before signalling
+                        let (m, cv) = &*inflight;
+                        *m.lock().unwrap() -= 1;
+                        cv.notify_all();
+                    }
+                    local
+                })
+            })
+            .collect();
+        Pipeline { tx: Some(tx), inflight, workers }
+    }
+
+    /// A sink handle for the graph builder. The builder must be dropped
+    /// (its sink with it) before [`Pipeline::finish`], or the workers
+    /// never see end-of-stream.
+    pub fn sink(&self) -> PipelineSink {
+        PipelineSink { tx: self.tx.clone().unwrap(), inflight: self.inflight.clone() }
+    }
+
+    /// Close the stream, join the workers, and merge their partials into
+    /// the final output (canonically sorted, ready for reporting).
+    pub fn finish(mut self) -> AnalysisOutput {
+        self.tx = None;
+        let mut out = AnalysisOutput::default();
+        for w in self.workers {
+            out.absorb(w.join().expect("analysis worker panicked"));
+        }
+        analysis::sort_candidates(&mut out.candidates);
+        out
+    }
+}
+
+/// The builder-side handle of a [`Pipeline`].
+pub struct PipelineSink {
+    tx: SyncSender<Epoch>,
+    inflight: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl EpochSink for PipelineSink {
+    fn submit(&mut self, e: Epoch) {
+        *self.inflight.0.lock().unwrap() += 1;
+        if self.tx.send(e).is_err() {
+            // all workers died (only possible after a worker panic);
+            // roll back so wait_drained cannot hang
+            let (m, cv) = &*self.inflight;
+            *m.lock().unwrap() -= 1;
+            cv.notify_all();
+        }
+    }
+
+    fn wait_drained(&mut self) {
+        let (m, cv) = &*self.inflight;
+        let mut g = m.lock().unwrap();
+        while *g > 0 {
+            g = cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// A synchronous sink analyzing every epoch on the submitting thread —
+/// the deterministic single-threaded reference used by unit tests.
+pub struct InlineSink {
+    opts: SuppressOptions,
+    out: Arc<Mutex<AnalysisOutput>>,
+}
+
+impl InlineSink {
+    pub fn new(opts: SuppressOptions) -> (InlineSink, Arc<Mutex<AnalysisOutput>>) {
+        let out = Arc::new(Mutex::new(AnalysisOutput::default()));
+        (InlineSink { opts, out: out.clone() }, out)
+    }
+
+    /// Extract the merged output, canonically sorted.
+    pub fn take(out: &Arc<Mutex<AnalysisOutput>>) -> AnalysisOutput {
+        let mut o = std::mem::take(&mut *out.lock().unwrap());
+        analysis::sort_candidates(&mut o.candidates);
+        o
+    }
+}
+
+impl EpochSink for InlineSink {
+    fn submit(&mut self, e: Epoch) {
+        let p = analyze_epoch(&e, &self.opts);
+        self.out.lock().unwrap().absorb(p);
+    }
+
+    fn wait_drained(&mut self) {}
+}

@@ -61,6 +61,87 @@ impl Default for ProptestConfig {
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strat: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strat.sample(rng))
+    }
+}
+
+/// `any::<T>()` for the primitive types the workspace samples.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_strategy!(u8, u16, u32, u64, usize);
+
+/// Uniform choice among same-valued strategies; the boxed arms are what
+/// `prop_oneof!` builds. (The real crate supports weighted arms — the
+/// workspace only uses the uniform form.)
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Boxing helper for `prop_oneof!` — names the trait-object type so
+/// every arm's `Value` unifies.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($strat)),+])
+    };
 }
 
 macro_rules! impl_range_strategy {
@@ -129,8 +210,8 @@ pub mod prop {
 
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy};
+    pub use crate::{any, Any, Just, Map, OneOf, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 #[macro_export]
@@ -220,5 +301,25 @@ mod tests {
         fn macro_default_config(x in 1u32..50) {
             prop_assert_ne!(x, 0);
         }
+    }
+
+    #[test]
+    fn oneof_map_and_any_sample_all_arms() {
+        let strat = prop_oneof![
+            Just(0u32),
+            (1u32..5).prop_map(|x| x + 100),
+            any::<bool>().prop_map(|b| if b { 200u32 } else { 201 }),
+        ];
+        let mut rng = crate::test_rng("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match strat.sample(&mut rng) {
+                0 => seen[0] = true,
+                x if (101..105).contains(&x) => seen[1] = true,
+                200 | 201 => seen[2] = true,
+                other => panic!("out-of-space sample {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "arms hit: {seen:?}");
     }
 }
