@@ -1,0 +1,76 @@
+//! E14: tg-obs tracing overhead on the Table II workload.
+//!
+//! The observability contract is "zero-cost when disabled, cheap when
+//! enabled": every hook guards on one relaxed atomic load, and the
+//! enabled path is a mutex push into a bounded ring. This harness times
+//! the full Taskgrind recording pass over mini-LULESH with the ring
+//! disabled and enabled and **asserts** the enabled run stays within 5%
+//! of the disabled one (min-of-N, so scheduler noise cancels).
+//!
+//! `TG_BENCH_SAMPLES` scales the sample count as in the other benches,
+//! but the assertion always uses at least 3 samples per side.
+
+use std::time::{Duration, Instant};
+
+use grindcore::{ExecMode, Vm, VmConfig};
+use taskgrind::tool::{RecordOptions, TaskgrindTool};
+use tg_lulesh::LULESH_MC;
+
+fn samples() -> usize {
+    std::env::var("TG_BENCH_SAMPLES").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(5).max(3)
+}
+
+fn min_of<F: FnMut() -> u64>(n: usize, mut f: F) -> (Duration, u64) {
+    let mut instrs = std::hint::black_box(f()); // warmup
+    let mut best = Duration::MAX;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        instrs = std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    (best, instrs)
+}
+
+fn fmt(d: Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let module = guest_rt::build_single("lulesh.c", LULESH_MC).unwrap();
+    let args = ["-s", "8", "-tel", "2", "-tnl", "2", "-i", "2"];
+    let run = || {
+        let tool = TaskgrindTool::new(RecordOptions::default());
+        let r =
+            Vm::new(module.clone(), Box::new(tool), VmConfig::default()).run(ExecMode::Dbi, &args);
+        assert!(r.ok());
+        r.metrics.instrs
+    };
+    let n = samples();
+
+    tg_obs::trace::shutdown();
+    assert!(!tg_obs::trace::enabled());
+    let (off, instrs_off) = min_of(n, run);
+
+    tg_obs::trace::init_default();
+    let (on, instrs_on) = min_of(n, run);
+    let buffered = tg_obs::trace::buffered();
+    tg_obs::trace::shutdown();
+
+    assert_eq!(instrs_off, instrs_on, "tracing must not change execution");
+    assert!(buffered > 0, "the enabled run must actually record events");
+    let delta = on.as_secs_f64() / off.as_secs_f64() - 1.0;
+    println!("obs_overhead/lulesh_recording_trace_off          [min {}] {n} samples", fmt(off));
+    println!(
+        "obs_overhead/lulesh_recording_trace_on           [min {}] {n} samples ({} events buffered)",
+        fmt(on),
+        buffered
+    );
+    println!("obs_overhead/delta                               {:+.2}%", delta * 100.0);
+    assert!(
+        delta < 0.05,
+        "tracing overhead {:.2}% exceeds the 5% budget (off {}, on {})",
+        delta * 100.0,
+        fmt(off),
+        fmt(on)
+    );
+}

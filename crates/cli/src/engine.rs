@@ -1,0 +1,416 @@
+//! Command-line options and the engine escape-hatch configuration.
+//!
+//! Every engine knob is resolved once, in [`EngineConfig::resolve`],
+//! with precedence **explicit flag > environment variable > default**,
+//! and every knob is *declared* in [`FLAGS`] — the README's reference
+//! table is generated from that declaration and a test diffs the two,
+//! so the documentation cannot rot.
+
+/// Parsed command-line options (see `tgrind --help`).
+pub struct Opts {
+    pub lint: bool,
+    pub tool: String,
+    pub threads: u64,
+    pub seed: u64,
+    pub random: bool,
+    pub no_ignore: bool,
+    pub keep_free: bool,
+    pub no_static_filter: bool,
+    pub no_chaining: bool,
+    pub cache_blocks: Option<usize>,
+    pub no_suppress: bool,
+    pub analysis_threads: usize,
+    pub no_sweep: bool,
+    pub no_bulk: bool,
+    pub no_fuse: bool,
+    pub streaming: bool,
+    pub no_streaming: bool,
+    pub max_live_segments: usize,
+    pub suppressions: Option<String>,
+    pub trace_out: Option<String>,
+    pub metrics_json: Option<String>,
+    pub self_profile: bool,
+    pub dot: Option<String>,
+    pub disasm: bool,
+    pub program: String,
+    pub guest_args: Vec<String>,
+}
+
+/// One declared engine knob: the flag that sets it, the environment
+/// variable that also sets it (flags win), its default, and what it
+/// does. [`FLAGS`] is the single source the README table and `--help`
+/// derive from.
+pub struct FlagSpec {
+    /// Short stable knob name, matching [`EngineConfig::describe`].
+    pub knob: &'static str,
+    /// Command-line flag(s).
+    pub flag: &'static str,
+    /// Environment variable, if any.
+    pub env: Option<&'static str>,
+    /// Default setting, as rendered in the table.
+    pub default: &'static str,
+    /// Which subsystem the knob belongs to.
+    pub subsystem: &'static str,
+    /// One-line effect description.
+    pub effect: &'static str,
+}
+
+/// Every engine escape hatch and observability knob, declared once.
+pub const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        knob: "chaining",
+        flag: "`--no-chaining`",
+        env: None,
+        default: "on",
+        subsystem: "dispatch",
+        effect: "superblock chaining + IBTC; off = tree-walk reference engine",
+    },
+    FlagSpec {
+        knob: "sweep",
+        flag: "`--no-sweep`",
+        env: None,
+        default: "on",
+        subsystem: "analysis",
+        effect: "address-indexed sweep pair generation; off = all-pairs reference",
+    },
+    FlagSpec {
+        knob: "bulk",
+        flag: "`--no-bulk`",
+        env: Some("`TG_NO_BULK`"),
+        default: "on",
+        subsystem: "recording",
+        effect: "bulk access ingestion at segment close; off = per-access inserts",
+    },
+    FlagSpec {
+        knob: "fuse",
+        flag: "`--no-fuse`",
+        env: Some("`TG_NO_FUSE`"),
+        default: "on",
+        subsystem: "translation",
+        effect: "peephole fusion of flat-compiled blocks",
+    },
+    FlagSpec {
+        knob: "static_filter",
+        flag: "`--no-static-filter`",
+        env: None,
+        default: "on",
+        subsystem: "translation",
+        effect: "prune instrumentation of statically safe accesses (tga-analysis)",
+    },
+    FlagSpec {
+        knob: "streaming",
+        flag: "`--streaming` / `--no-streaming`",
+        env: Some("`TG_STREAMING`"),
+        default: "off",
+        subsystem: "analysis",
+        effect: "online bounded-memory segment retirement; off = batch reference",
+    },
+    FlagSpec {
+        knob: "max_live_segments",
+        flag: "`--max-live-segments=N`",
+        env: None,
+        default: "0 (off)",
+        subsystem: "analysis",
+        effect: "streaming backpressure: block the guest above N resident closed segments",
+    },
+    FlagSpec {
+        knob: "trace_out",
+        flag: "`--trace-out=FILE`",
+        env: Some("`TG_TRACE_OUT`"),
+        default: "off",
+        subsystem: "observability",
+        effect: "write a Chrome-trace/Perfetto JSON timeline of the run (tg-obs)",
+    },
+    FlagSpec {
+        knob: "metrics_json",
+        flag: "`--metrics-json=FILE`",
+        env: Some("`TG_METRICS_JSON`"),
+        default: "off",
+        subsystem: "observability",
+        effect: "dump every counter of the metrics registry as JSON",
+    },
+    FlagSpec {
+        knob: "self_profile",
+        flag: "`--self-profile`",
+        env: Some("`TG_SELF_PROFILE`"),
+        default: "off",
+        subsystem: "observability",
+        effect: "sample executed-op budget per guest function (symbol-resolved)",
+    },
+];
+
+/// Render [`FLAGS`] as the README's markdown reference table.
+pub fn render_flag_table() -> String {
+    let mut out = String::new();
+    out.push_str("| knob | flag | env variable | default | subsystem | effect |\n");
+    out.push_str("|------|------|--------------|---------|-----------|--------|\n");
+    for f in FLAGS {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            f.knob,
+            f.flag,
+            f.env.unwrap_or("—"),
+            f.default,
+            f.subsystem,
+            f.effect
+        ));
+    }
+    out
+}
+
+/// Every engine escape hatch, resolved in one place. Precedence:
+/// explicit flag > environment variable > default. The knob set is
+/// declared in [`FLAGS`]; [`EngineConfig::describe`] must stay in sync
+/// (a unit test compares the two).
+pub struct EngineConfig {
+    pub chaining: bool,
+    pub sweep: bool,
+    pub bulk: bool,
+    pub fuse: bool,
+    pub static_filter: bool,
+    pub streaming: bool,
+    pub max_live_segments: usize,
+    /// Write a Chrome-trace JSON timeline here (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Write the metrics-registry JSON dump here (`--metrics-json`).
+    pub metrics_json: Option<String>,
+    /// Enable the sampling self-profiler (`--self-profile`).
+    pub self_profile: bool,
+}
+
+fn env_path(var: &str) -> Option<String> {
+    std::env::var(var).ok().filter(|s| !s.is_empty())
+}
+
+impl EngineConfig {
+    /// Resolve the engine configuration from parsed options and the
+    /// environment.
+    pub fn resolve(o: &Opts) -> EngineConfig {
+        EngineConfig {
+            chaining: !o.no_chaining,
+            sweep: !o.no_sweep,
+            bulk: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
+            fuse: !o.no_fuse && std::env::var_os("TG_NO_FUSE").is_none(),
+            static_filter: !o.no_static_filter,
+            streaming: if o.streaming {
+                true
+            } else if o.no_streaming {
+                false
+            } else {
+                std::env::var_os("TG_STREAMING").is_some()
+            },
+            max_live_segments: o.max_live_segments,
+            trace_out: o.trace_out.clone().or_else(|| env_path("TG_TRACE_OUT")),
+            metrics_json: o.metrics_json.clone().or_else(|| env_path("TG_METRICS_JSON")),
+            self_profile: o.self_profile || std::env::var_os("TG_SELF_PROFILE").is_some(),
+        }
+    }
+
+    /// `TG_NO_FUSE` is read inside the lifter at translation time, so an
+    /// explicit `--no-fuse` (or an explicit absence, when only the env
+    /// var was set and no flag given) must be materialized in the
+    /// environment before the VM translates anything.
+    pub fn export_fuse(&self) {
+        if self.fuse {
+            std::env::remove_var("TG_NO_FUSE");
+        } else {
+            std::env::set_var("TG_NO_FUSE", "1");
+        }
+    }
+
+    /// The resolved value of every declared knob, in [`FLAGS`] order —
+    /// the runtime counterpart of the declaration, compared against it
+    /// by the rot-proofing test.
+    pub fn describe(&self) -> Vec<(&'static str, String)> {
+        let onoff = |b: bool| if b { "on" } else { "off" }.to_string();
+        vec![
+            ("chaining", onoff(self.chaining)),
+            ("sweep", onoff(self.sweep)),
+            ("bulk", onoff(self.bulk)),
+            ("fuse", onoff(self.fuse)),
+            ("static_filter", onoff(self.static_filter)),
+            ("streaming", onoff(self.streaming)),
+            ("max_live_segments", self.max_live_segments.to_string()),
+            ("trace_out", self.trace_out.clone().unwrap_or_else(|| "off".into())),
+            ("metrics_json", self.metrics_json.clone().unwrap_or_else(|| "off".into())),
+            ("self_profile", onoff(self.self_profile)),
+        ]
+    }
+
+    /// Publish the resolved engine toggles into the metrics registry
+    /// under `engine.*`.
+    pub fn publish(&self, reg: &mut tg_obs::Registry) {
+        reg.set_bool("engine.chaining", self.chaining);
+        reg.set_bool("engine.sweep", self.sweep);
+        reg.set_bool("engine.bulk", self.bulk);
+        reg.set_bool("engine.fuse", self.fuse);
+        reg.set_bool("engine.static_filter", self.static_filter);
+        reg.set_bool("engine.streaming", self.streaming);
+        reg.set_u64("engine.max_live_segments", self.max_live_segments as u64);
+        reg.set_bool("engine.self_profile", self.self_profile);
+    }
+}
+
+/// Print the usage banner and exit with status 2.
+pub fn usage() -> ! {
+    eprintln!("usage: tgrind [--tool=taskgrind|archer|tasksan|romp|none] [--threads=N] [--seed=N]");
+    eprintln!(
+        "              [--random-sched] [--no-ignore-list] [--keep-free] [--no-static-filter]"
+    );
+    eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
+    eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk] [--no-fuse]");
+    eprintln!("              [--streaming|--no-streaming] [--max-live-segments=N]");
+    eprintln!("              [--trace-out=FILE] [--metrics-json=FILE] [--self-profile]");
+    eprintln!("              [--dot=FILE] [--disasm]");
+    eprintln!("              <program.c> [-- args...]");
+    eprintln!("       tgrind lint <program.c>");
+    eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_STREAMING, TG_TRACE_OUT, TG_METRICS_JSON,");
+    eprintln!("            TG_SELF_PROFILE (flags win over env)");
+    std::process::exit(2)
+}
+
+/// Parse the process arguments (without the program name).
+pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
+    let mut o = Opts {
+        lint: false,
+        tool: "taskgrind".into(),
+        threads: 1,
+        seed: 42,
+        random: false,
+        no_ignore: false,
+        keep_free: false,
+        no_static_filter: false,
+        no_chaining: false,
+        cache_blocks: None,
+        no_suppress: false,
+        analysis_threads: 0,
+        no_sweep: false,
+        no_bulk: false,
+        no_fuse: false,
+        streaming: false,
+        no_streaming: false,
+        max_live_segments: 0,
+        suppressions: None,
+        trace_out: None,
+        metrics_json: None,
+        self_profile: false,
+        dot: None,
+        disasm: false,
+        program: String::new(),
+        guest_args: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--" {
+            o.guest_args.extend(args.by_ref());
+            break;
+        } else if let Some(v) = a.strip_prefix("--tool=") {
+            o.tool = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            o.threads = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            o.seed = v.parse().unwrap_or_else(|_| usage());
+        } else if a == "--random-sched" {
+            o.random = true;
+        } else if a == "--no-ignore-list" {
+            o.no_ignore = true;
+        } else if a == "--keep-free" {
+            o.keep_free = true;
+        } else if a == "--no-static-filter" {
+            o.no_static_filter = true;
+        } else if a == "--no-chaining" {
+            o.no_chaining = true;
+        } else if let Some(v) = a.strip_prefix("--cache-blocks=") {
+            o.cache_blocks = Some(v.parse().unwrap_or_else(|_| usage()));
+        } else if a == "--no-suppress" {
+            o.no_suppress = true;
+        } else if let Some(v) =
+            a.strip_prefix("--analysis-threads=").or_else(|| a.strip_prefix("--parallel-analysis="))
+        {
+            o.analysis_threads = v.parse().unwrap_or_else(|_| usage());
+        } else if a == "--no-sweep" {
+            o.no_sweep = true;
+        } else if a == "--no-bulk" {
+            o.no_bulk = true;
+        } else if a == "--no-fuse" {
+            o.no_fuse = true;
+        } else if a == "--streaming" {
+            o.streaming = true;
+        } else if a == "--no-streaming" {
+            o.no_streaming = true;
+        } else if let Some(v) = a.strip_prefix("--max-live-segments=") {
+            o.max_live_segments = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = a.strip_prefix("--suppressions=") {
+            o.suppressions = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            o.trace_out = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--metrics-json=") {
+            o.metrics_json = Some(v.to_string());
+        } else if a == "--self-profile" {
+            o.self_profile = true;
+        } else if let Some(v) = a.strip_prefix("--dot=") {
+            o.dot = Some(v.to_string());
+        } else if a == "--disasm" {
+            o.disasm = true;
+        } else if a.starts_with("--") {
+            eprintln!("unknown option {a}");
+            usage();
+        } else if a == "lint" && !o.lint && o.program.is_empty() {
+            o.lint = true;
+        } else if o.program.is_empty() {
+            o.program = a;
+        } else {
+            usage();
+        }
+    }
+    if o.program.is_empty() {
+        usage();
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Opts {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn declared_flags_match_engine_config_knobs() {
+        let eng = EngineConfig::resolve(&opts(&["p.c"]));
+        let declared: Vec<&str> = FLAGS.iter().map(|f| f.knob).collect();
+        let described: Vec<&str> = eng.describe().iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            declared, described,
+            "FLAGS and EngineConfig::describe must list the same knobs in the same order"
+        );
+    }
+
+    #[test]
+    fn observability_flags_parse_and_resolve() {
+        let o = opts(&[
+            "--trace-out=/tmp/t.json",
+            "--metrics-json=/tmp/m.json",
+            "--self-profile",
+            "p.c",
+        ]);
+        let eng = EngineConfig::resolve(&o);
+        assert_eq!(eng.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(eng.metrics_json.as_deref(), Some("/tmp/m.json"));
+        assert!(eng.self_profile);
+        let eng = EngineConfig::resolve(&opts(&["p.c"]));
+        assert!(eng.trace_out.is_none() || std::env::var_os("TG_TRACE_OUT").is_some());
+        assert!(!eng.self_profile || std::env::var_os("TG_SELF_PROFILE").is_some());
+    }
+
+    #[test]
+    fn flag_table_renders_every_declared_knob() {
+        let table = render_flag_table();
+        for f in FLAGS {
+            assert!(table.contains(f.knob), "table missing knob {}", f.knob);
+            assert!(table.contains(f.flag), "table missing flag {}", f.flag);
+        }
+    }
+}

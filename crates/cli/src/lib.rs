@@ -1,0 +1,8 @@
+//! Library half of the `tgrind` CLI: argument parsing and the engine
+//! escape-hatch configuration.
+//!
+//! Split from the binary so tests (and the README flag-table check) can
+//! reach [`engine::EngineConfig`] and [`engine::FLAGS`] without spawning
+//! a process.
+
+pub mod engine;

@@ -31,12 +31,20 @@
 //!   --no-streaming       force the batch reference engine
 //!   --max-live-segments=<n>  streaming backpressure: block the guest
 //!                        when more closed segments are resident (0 = off)
+//!   --trace-out=<file>   write a Chrome-trace/Perfetto JSON timeline
+//!                        (TG_TRACE_OUT equivalent)
+//!   --metrics-json=<file>    dump the metrics registry as JSON
+//!                        (TG_METRICS_JSON equivalent)
+//!   --self-profile       sample executed-op budget per guest function
+//!                        (TG_SELF_PROFILE equivalent)
 //!   --dot=<file>         write the segment graph as Graphviz DOT
 //!   --disasm             dump the compiled guest binary and exit
 //! ```
 //!
-//! Every engine escape hatch is resolved once, in [`EngineConfig`],
-//! with precedence **explicit flag > environment variable > default**.
+//! Every engine escape hatch is resolved once, in
+//! [`tg_cli::engine::EngineConfig`], with precedence **explicit flag >
+//! environment variable > default**; the flag reference table in the
+//! README is generated from [`tg_cli::engine::FLAGS`].
 
 use grindcore::{SchedPolicy, VmConfig};
 use minicc::SourceFile;
@@ -45,194 +53,59 @@ use taskgrind::analysis::SuppressOptions;
 use taskgrind::tool::RecordOptions;
 use taskgrind::{check_module, TaskgrindConfig};
 use tg_baselines::{archer::run_archer, romp::run_romp, tasksan::run_tasksan};
+use tg_cli::engine::{parse_args, EngineConfig};
 
-fn usage() -> ! {
-    eprintln!("usage: tgrind [--tool=taskgrind|archer|tasksan|romp|none] [--threads=N] [--seed=N]");
-    eprintln!(
-        "              [--random-sched] [--no-ignore-list] [--keep-free] [--no-static-filter]"
-    );
-    eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
-    eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk] [--no-fuse]");
-    eprintln!("              [--streaming|--no-streaming] [--max-live-segments=N]");
-    eprintln!("              [--dot=FILE] [--disasm]");
-    eprintln!("              <program.c> [-- args...]");
-    eprintln!("       tgrind lint <program.c>");
-    eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_STREAMING (flags win over env)");
-    std::process::exit(2)
-}
-
-struct Opts {
-    lint: bool,
-    tool: String,
-    threads: u64,
-    seed: u64,
-    random: bool,
-    no_ignore: bool,
-    keep_free: bool,
-    no_static_filter: bool,
-    no_chaining: bool,
-    cache_blocks: Option<usize>,
-    no_suppress: bool,
-    analysis_threads: usize,
-    no_sweep: bool,
-    no_bulk: bool,
-    no_fuse: bool,
-    streaming: bool,
-    no_streaming: bool,
-    max_live_segments: usize,
-    suppressions: Option<String>,
-    dot: Option<String>,
-    disasm: bool,
-    program: String,
-    guest_args: Vec<String>,
-}
-
-/// Every engine escape hatch, resolved in one place. Precedence:
-/// explicit flag > environment variable > default.
-///
-/// | knob            | flag                        | env variable | default |
-/// |-----------------|-----------------------------|--------------|---------|
-/// | chaining        | `--no-chaining`             | —            | on      |
-/// | sweep engine    | `--no-sweep`                | —            | on      |
-/// | bulk ingestion  | `--no-bulk`                 | `TG_NO_BULK` | on      |
-/// | peephole fusion | `--no-fuse`                 | `TG_NO_FUSE` | on      |
-/// | static filter   | `--no-static-filter`        | —            | on      |
-/// | streaming       | `--streaming`/`--no-streaming` | `TG_STREAMING` | off |
-/// | backpressure    | `--max-live-segments=N`     | —            | 0 (off) |
-struct EngineConfig {
-    chaining: bool,
-    sweep: bool,
-    bulk: bool,
-    fuse: bool,
-    static_filter: bool,
-    streaming: bool,
-    max_live_segments: usize,
-}
-
-impl EngineConfig {
-    fn resolve(o: &Opts) -> EngineConfig {
-        EngineConfig {
-            chaining: !o.no_chaining,
-            sweep: !o.no_sweep,
-            bulk: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
-            fuse: !o.no_fuse && std::env::var_os("TG_NO_FUSE").is_none(),
-            static_filter: !o.no_static_filter,
-            streaming: if o.streaming {
-                true
-            } else if o.no_streaming {
-                false
-            } else {
-                std::env::var_os("TG_STREAMING").is_some()
-            },
-            max_live_segments: o.max_live_segments,
-        }
-    }
-
-    /// `TG_NO_FUSE` is read inside the lifter at translation time, so an
-    /// explicit `--no-fuse` (or an explicit absence, when only the env
-    /// var was set and no flag given) must be materialized in the
-    /// environment before the VM translates anything.
-    fn export_fuse(&self) {
-        if self.fuse {
-            std::env::remove_var("TG_NO_FUSE");
-        } else {
-            std::env::set_var("TG_NO_FUSE", "1");
-        }
+/// Write `text` to `path`, reporting (but not aborting on) failure.
+fn write_artifact(what: &str, path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("tgrind: cannot write {what} {path}: {e}");
     }
 }
 
-fn parse_args() -> Opts {
-    let mut o = Opts {
-        lint: false,
-        tool: "taskgrind".into(),
-        threads: 1,
-        seed: 42,
-        random: false,
-        no_ignore: false,
-        keep_free: false,
-        no_static_filter: false,
-        no_chaining: false,
-        cache_blocks: None,
-        no_suppress: false,
-        analysis_threads: 0,
-        no_sweep: false,
-        no_bulk: false,
-        no_fuse: false,
-        streaming: false,
-        no_streaming: false,
-        max_live_segments: 0,
-        suppressions: None,
-        dot: None,
-        disasm: false,
-        program: String::new(),
-        guest_args: Vec::new(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--" {
-            o.guest_args.extend(args.by_ref());
-            break;
-        } else if let Some(v) = a.strip_prefix("--tool=") {
-            o.tool = v.to_string();
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            o.threads = v.parse().unwrap_or_else(|_| usage());
-        } else if let Some(v) = a.strip_prefix("--seed=") {
-            o.seed = v.parse().unwrap_or_else(|_| usage());
-        } else if a == "--random-sched" {
-            o.random = true;
-        } else if a == "--no-ignore-list" {
-            o.no_ignore = true;
-        } else if a == "--keep-free" {
-            o.keep_free = true;
-        } else if a == "--no-static-filter" {
-            o.no_static_filter = true;
-        } else if a == "--no-chaining" {
-            o.no_chaining = true;
-        } else if let Some(v) = a.strip_prefix("--cache-blocks=") {
-            o.cache_blocks = Some(v.parse().unwrap_or_else(|_| usage()));
-        } else if a == "--no-suppress" {
-            o.no_suppress = true;
-        } else if let Some(v) =
-            a.strip_prefix("--analysis-threads=").or_else(|| a.strip_prefix("--parallel-analysis="))
-        {
-            o.analysis_threads = v.parse().unwrap_or_else(|_| usage());
-        } else if a == "--no-sweep" {
-            o.no_sweep = true;
-        } else if a == "--no-bulk" {
-            o.no_bulk = true;
-        } else if a == "--no-fuse" {
-            o.no_fuse = true;
-        } else if a == "--streaming" {
-            o.streaming = true;
-        } else if a == "--no-streaming" {
-            o.no_streaming = true;
-        } else if let Some(v) = a.strip_prefix("--max-live-segments=") {
-            o.max_live_segments = v.parse().unwrap_or_else(|_| usage());
-        } else if let Some(v) = a.strip_prefix("--suppressions=") {
-            o.suppressions = Some(v.to_string());
-        } else if let Some(v) = a.strip_prefix("--dot=") {
-            o.dot = Some(v.to_string());
-        } else if a == "--disasm" {
-            o.disasm = true;
-        } else if a.starts_with("--") {
-            eprintln!("unknown option {a}");
-            usage();
-        } else if a == "lint" && !o.lint && o.program.is_empty() {
-            o.lint = true;
-        } else if o.program.is_empty() {
-            o.program = a;
-        } else {
-            usage();
-        }
+/// Flush the trace ring to `--trace-out` and the registry to
+/// `--metrics-json`, when requested.
+fn write_observability(eng: &EngineConfig, reg: &tg_obs::Registry) {
+    if let Some(path) = &eng.trace_out {
+        write_artifact("trace", path, &tg_obs::trace::export_chrome_json());
     }
-    if o.program.is_empty() {
-        usage();
+    if let Some(path) = &eng.metrics_json {
+        write_artifact("metrics", path, &reg.to_json());
     }
-    o
+}
+
+/// Render the top of the self-profile (`profile.*` registry entries)
+/// when `--self-profile` was given.
+fn render_profile(reg: &tg_obs::Registry) -> String {
+    let mut rows: Vec<(&str, u64)> = reg
+        .iter()
+        .filter_map(|(k, v)| {
+            let name = k.strip_prefix("profile.")?;
+            match v {
+                tg_obs::Value::U64(n) => Some((name, *n)),
+                _ => None,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let total: u64 = rows.iter().map(|r| r.1).sum();
+    let mut out = String::new();
+    if total == 0 {
+        return out;
+    }
+    out.push_str("== self-profile (sampled ops per guest function):\n");
+    for (name, ops) in rows.iter().take(10) {
+        out.push_str(&format!(
+            "     {:>6.2}%  {:>12}  {}\n",
+            100.0 * *ops as f64 / total as f64,
+            ops,
+            name
+        ));
+    }
+    out
 }
 
 fn main() -> ExitCode {
-    let o = parse_args();
+    let o = parse_args(std::env::args().skip(1));
     let text = match std::fs::read_to_string(&o.program) {
         Ok(t) => t,
         Err(e) => {
@@ -256,12 +129,16 @@ fn main() -> ExitCode {
 
     let eng = EngineConfig::resolve(&o);
     eng.export_fuse();
+    if eng.trace_out.is_some() {
+        tg_obs::trace::init_default();
+    }
     let vm = VmConfig {
         nthreads: o.threads,
         seed: o.seed,
         sched: if o.random { SchedPolicy::Random } else { SchedPolicy::RoundRobin },
         chaining: eng.chaining,
         cache_blocks: o.cache_blocks.unwrap_or_else(|| VmConfig::default().cache_blocks),
+        self_profile: eng.self_profile,
         ..Default::default()
     };
     let guest_args: Vec<&str> = o.guest_args.iter().map(|s| s.as_str()).collect();
@@ -289,6 +166,11 @@ fn main() -> ExitCode {
                 "== tgrind(none): {} instrs, exit {:?}, deadlock={}",
                 r.metrics.instrs, r.exit_code, r.deadlock
             );
+            let mut reg = tg_obs::Registry::new();
+            r.metrics.publish(&mut reg);
+            eng.publish(&mut reg);
+            eprint!("{}", render_profile(&reg));
+            write_observability(&eng, &reg);
             ExitCode::SUCCESS
         }
         "archer" => {
@@ -367,50 +249,14 @@ fn main() -> ExitCode {
                 }
             }
             eprint!("{}", r.render_all());
-            eprintln!(
-                "== taskgrind: {} report(s) ({} raw candidates) | recording {:.3}s, analysis {:.3}s | {} segments, {} instrs",
-                r.n_reports(),
-                r.analysis.candidates.len(),
-                r.recording_secs,
-                r.analysis_secs,
-                r.graph.n_nodes(),
-                r.run.metrics.instrs,
-            );
-            eprintln!(
-                "== analysis: engine {} | {} thread(s) | {} candidate pair(s), {} unordered | {} raw range(s) | {:.3}s",
-                r.analysis_engine,
-                r.analysis_threads_used,
-                r.analysis.pairs_checked,
-                r.analysis.unordered_pairs,
-                r.analysis.raw_ranges,
-                r.analysis_secs,
-            );
-            eprintln!(
-                "== analysis: {} epoch(s), {} segment(s) retired, {} throttle wait(s) | peak {} live segment(s), {} high-water tool byte(s)",
-                r.analysis_epochs,
-                r.retired_segments,
-                r.throttle_waits,
-                r.peak_live_segments,
-                r.peak_tool_bytes,
-            );
-            eprintln!(
-                "== static filter: {} | {} site(s) pruned, {} instrumented, {} access(es) recorded",
-                if eng.static_filter { "on" } else { "off" },
-                r.sites_pruned,
-                r.sites_instrumented,
-                r.accesses_recorded,
-            );
-            let d = &r.dispatch;
-            eprintln!(
-                "== dispatch: chaining {} | {} chain hit(s) ({} ibtc), {} probe(s), {} translation(s), {} eviction(s), {} discard(s)",
-                if eng.chaining { "on" } else { "off" },
-                d.chain_hits,
-                d.ibtc_hits,
-                d.probes,
-                r.run.metrics.translations,
-                d.evictions,
-                d.discarded_blocks,
-            );
+            // One registry feeds the `==` summary, the self-profile and
+            // the --metrics-json dump, so they can never disagree.
+            let mut reg = tg_obs::Registry::new();
+            taskgrind::metrics::publish(&r, &mut reg);
+            eng.publish(&mut reg);
+            eprint!("{}", taskgrind::metrics::render_summary(&reg));
+            eprint!("{}", render_profile(&reg));
+            write_observability(&eng, &reg);
             if r.run.deadlock {
                 eprintln!("== guest deadlocked");
                 return ExitCode::from(3);
@@ -419,7 +265,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!("unknown tool `{other}`");
-            usage()
+            tg_cli::engine::usage()
         }
     }
 }

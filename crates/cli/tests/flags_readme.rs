@@ -1,0 +1,21 @@
+//! The README's engine-flag reference table is generated from
+//! [`tg_cli::engine::FLAGS`]; this test diffs the two so the
+//! documentation cannot drift from the code.
+
+#[test]
+fn readme_flag_table_matches_declaration() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(path).expect("README.md readable");
+    let begin = "<!-- flags:begin -->";
+    let end = "<!-- flags:end -->";
+    let start = readme.find(begin).expect("README missing flags:begin marker") + begin.len();
+    let stop = readme[start..].find(end).expect("README missing flags:end marker") + start;
+    let in_readme = readme[start..stop].trim();
+    let generated = tg_cli::engine::render_flag_table();
+    assert_eq!(
+        in_readme,
+        generated.trim(),
+        "README engine-flag table is stale: paste the output of \
+         tg_cli::engine::render_flag_table() between the flags:begin/end markers"
+    );
+}

@@ -466,6 +466,7 @@ pub fn compile(ir: &IrBlock) -> FlatBlock {
     let ops = if std::env::var_os("TG_NO_FUSE").is_some() {
         ops
     } else {
+        let _s = tg_obs::trace::host_span("fuse");
         fuse(ops, &mut consts, &dirties, &memcbs, next, ir.n_temps)
     };
     if std::env::var_os("TG_FLAT_DEBUG").is_some() {

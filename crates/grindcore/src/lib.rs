@@ -28,6 +28,7 @@ pub mod flat;
 pub mod lift;
 pub mod mem;
 pub mod opt;
+pub mod profile;
 pub mod syscalls;
 pub mod tcache;
 pub mod tool;

@@ -341,6 +341,14 @@ impl TransCache {
     /// Remove one block, severing every chain link in or out of it.
     fn evict_slot(&mut self, slot: u32, ev: &mut EvictStats) {
         let b = self.slots[slot as usize].take().expect("evicting empty slot");
+        if tg_obs::trace::enabled() {
+            tg_obs::trace::instant(
+                "evict",
+                tg_obs::trace::PID_HOST,
+                tg_obs::trace::host_tid(),
+                vec![("base", b.base), ("resident", self.len as u64 - 1)],
+            );
+        }
         self.map.remove(&b.base);
         self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
         self.free.push(slot);

@@ -98,6 +98,28 @@ impl SyncKind {
         })
     }
 
+    /// Short stable label for this sync event, used by trace output (the
+    /// tg-obs guest track) and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncKind::ParallelBegin => "parallel begin",
+            SyncKind::ParallelEnd => "parallel end",
+            SyncKind::ImplicitTaskBegin => "implicit task begin",
+            SyncKind::ImplicitTaskEnd => "implicit task end",
+            SyncKind::TaskCreate => "task create",
+            SyncKind::TaskSpawn => "task spawn",
+            SyncKind::TaskBegin => "task begin",
+            SyncKind::TaskEnd => "task end",
+            SyncKind::Taskwait => "taskwait",
+            SyncKind::TaskgroupBegin => "taskgroup begin",
+            SyncKind::TaskgroupEnd => "taskgroup end",
+            SyncKind::Barrier => "barrier",
+            SyncKind::CriticalEnter => "critical enter",
+            SyncKind::CriticalExit => "critical exit",
+            SyncKind::TaskFulfill => "task fulfill",
+        }
+    }
+
     /// True for events after which a segment that was running can have
     /// closed: these are the natural points to recompute a retirement
     /// frontier.

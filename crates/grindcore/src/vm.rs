@@ -84,6 +84,10 @@ pub struct VmConfig {
     /// Capacity of the bounded translation cache, in superblocks.
     /// Evictions use an LRU-clock sweep and unchain the victim.
     pub cache_blocks: usize,
+    /// Sample executed-op budget per guest function (the tg-obs
+    /// self-profiler); results land in [`Metrics::profile`]. One
+    /// `Option` check per superblock when off.
+    pub self_profile: bool,
 }
 
 impl Default for VmConfig {
@@ -98,6 +102,7 @@ impl Default for VmConfig {
             optimize_ir: true,
             chaining: true,
             cache_blocks: 4096,
+            self_profile: false,
         }
     }
 }
@@ -207,6 +212,48 @@ pub struct Metrics {
     /// scheduled identically have equal digests. Used by the chaining
     /// determinism tests.
     pub sched_digest: u64,
+    /// Self-profiler output: `(guest function, estimated executed ops)`
+    /// sorted descending. Empty unless [`VmConfig::self_profile`] is set.
+    pub profile: Vec<(String, u64)>,
+}
+
+impl VmStats {
+    /// Publish every dispatch-loop counter into `reg` under `dispatch.*`.
+    pub fn publish(&self, reg: &mut tg_obs::Registry) {
+        reg.set_u64("dispatch.chain_hits", self.chain_hits);
+        reg.set_u64("dispatch.chain_links", self.chain_links);
+        reg.set_u64("dispatch.ibtc_hits", self.ibtc_hits);
+        reg.set_u64("dispatch.ibtc_fills", self.ibtc_fills);
+        reg.set_u64("dispatch.probes", self.probes);
+        reg.set_u64("dispatch.evictions", self.evictions);
+        reg.set_u64("dispatch.unchains", self.unchains);
+        reg.set_u64("dispatch.discarded_blocks", self.discarded_blocks);
+        reg.set_u64("dispatch.discard_requests", self.discard_requests);
+    }
+}
+
+impl Metrics {
+    /// Publish every execution counter into `reg`: `vm.*` for the core
+    /// counters, `dispatch.*` for the dispatch loop, and
+    /// `profile.<function>` for the self-profiler budget (when enabled).
+    pub fn publish(&self, reg: &mut tg_obs::Registry) {
+        reg.set_u64("vm.instrs", self.instrs);
+        reg.set_u64("vm.blocks", self.blocks);
+        reg.set_u64("vm.translations", self.translations);
+        reg.set_u64("vm.translation_bytes", self.translation_bytes);
+        reg.set_u64("vm.switches", self.switches);
+        reg.set_u64("vm.syscalls", self.syscalls);
+        reg.set_u64("vm.client_requests", self.client_requests);
+        reg.set_u64("vm.replaced_calls", self.replaced_calls);
+        reg.set_u64("vm.threads_created", self.threads_created);
+        reg.set_u64("vm.guest_footprint", self.guest_footprint);
+        reg.set_u64("vm.tool_bytes", self.tool_bytes);
+        reg.set_u64("vm.sched_digest", self.sched_digest);
+        self.dispatch.publish(reg);
+        for (name, ops) in &self.profile {
+            reg.set_u64(&format!("profile.{name}"), *ops);
+        }
+    }
 }
 
 /// Fold one value into the scheduler digest (FNV-1a over LE bytes).
@@ -452,6 +499,8 @@ pub struct Vm {
     /// Guest code range, for the self-modifying-code store check.
     code_lo: u64,
     code_hi: u64,
+    /// Sampling self-profiler ([`VmConfig::self_profile`]).
+    profiler: Option<crate::profile::SelfProfiler>,
 }
 
 impl Vm {
@@ -468,6 +517,7 @@ impl Vm {
         let code_lo = module.code_base;
         let code_hi = module.code_end();
         let cache_blocks = config.cache_blocks;
+        let profiler = config.self_profile.then(crate::profile::SelfProfiler::new);
         Vm {
             core: VmCore::new(module, config),
             tool,
@@ -477,6 +527,7 @@ impl Vm {
             yield_requested: false,
             code_lo,
             code_hi,
+            profiler,
         }
     }
 
@@ -507,6 +558,11 @@ impl Vm {
                 ExecMode::Dbi => self.core.config.quantum,
                 ExecMode::Fast => self.core.config.quantum * 16,
             };
+            let _slice_span = if tg_obs::trace::enabled() {
+                tg_obs::trace::host_span_args("slice", vec![("tid", tid as u64)])
+            } else {
+                tg_obs::trace::SpanGuard::inactive()
+            };
             let step = match mode {
                 ExecMode::Dbi => self.run_slice_dbi(tid, slice),
                 ExecMode::Fast => self.run_slice_fast(tid, slice),
@@ -521,6 +577,9 @@ impl Vm {
         }
 
         self.core.metrics.guest_footprint = self.core.mem.footprint();
+        if let Some(p) = &self.profiler {
+            self.core.metrics.profile = p.resolve(&self.core.module);
+        }
         self.tool.program_end(&mut self.core);
         self.core.metrics.tool_bytes = self.tool.tool_bytes();
         RunResult {
@@ -755,21 +814,40 @@ impl Vm {
         if let Some(r) = self.tcache.lookup(pc) {
             return Ok(r);
         }
-        let block = lift_superblock(&self.core.module, pc).map_err(|e| VmError {
-            tid: 0,
-            pc,
-            msg: e.to_string(),
-        })?;
-        let block = if self.core.config.optimize_ir { crate::opt::optimize(block) } else { block };
+        let _translate_span = if tg_obs::trace::enabled() {
+            tg_obs::trace::host_span_args("translate", vec![("pc", pc)])
+        } else {
+            tg_obs::trace::SpanGuard::inactive()
+        };
+        let block = {
+            let _s = tg_obs::trace::host_span("lift");
+            lift_superblock(&self.core.module, pc).map_err(|e| VmError {
+                tid: 0,
+                pc,
+                msg: e.to_string(),
+            })?
+        };
+        let block = if self.core.config.optimize_ir {
+            let _s = tg_obs::trace::host_span("iropt");
+            crate::opt::optimize(block)
+        } else {
+            block
+        };
         let meta = BlockMeta {
             base: pc,
             fn_symbol: self.core.module.find_func(pc).map(|s| s.name.clone()),
         };
-        let block = self.tool.instrument(block, &meta);
+        let block = {
+            let _s = tg_obs::trace::host_span("instrument");
+            self.tool.instrument(block, &meta)
+        };
         if cfg!(debug_assertions) {
             vex_ir::sanity::assert_sane(&block, self.tool.name());
         }
-        let flat = self.core.config.chaining.then(|| Rc::new(crate::flat::compile(&block)));
+        let flat = self.core.config.chaining.then(|| {
+            let _s = tg_obs::trace::host_span("compile");
+            Rc::new(crate::flat::compile(&block))
+        });
         let bytes = 64 + block.stmts.len() as u64 * 48;
         self.core.metrics.translations += 1;
         self.core.metrics.translation_bytes += bytes;
@@ -801,6 +879,11 @@ impl Vm {
             self.discard_translations(args[0], args[0].saturating_add(args[1]));
             return 0;
         }
+        let _creq_span = if tg_obs::trace::enabled() {
+            tg_obs::trace::host_span_args("tool creq", vec![("code", code), ("tid", tid as u64)])
+        } else {
+            tg_obs::trace::SpanGuard::inactive()
+        };
         let ret = self.tool.client_request(&mut self.core, tid, code, args);
         if let Some(kind) = crate::tool::SyncKind::from_creq(code) {
             let seq = self.core.metrics.client_requests;
@@ -821,6 +904,9 @@ impl Vm {
         fb: &Rc<FlatBlock>,
     ) -> Result<Pending, VmError> {
         self.core.metrics.blocks += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            p.note(fb.base, fb.ops.len() as u64);
+        }
         let mut tmps = std::mem::take(&mut self.tmp_buf);
         // Every temp is written before it is read (the compile-time scan
         // behind `zero_temps` proved it), so the buffer's stale contents
@@ -1093,6 +1179,9 @@ impl Vm {
     fn exec_block(&mut self, tid: Tid, block: &Rc<IrBlock>) -> Result<(), VmError> {
         let pc = block.base;
         self.core.metrics.blocks += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            p.note(block.base, block.stmts.len() as u64);
+        }
         let mut tmps = std::mem::take(&mut self.tmp_buf);
         tmps.clear();
         tmps.resize(block.n_temps as usize, 0);

@@ -29,7 +29,7 @@
 //! default engine ([`run_sweep`]) is address-indexed: a global endpoint
 //! sweep over every interesting segment's intervals emits exactly the
 //! pairs whose memory footprints overlap with at least one write
-//! involved — the pairs for which [`conflicts`] is non-empty — then the
+//! involved — the pairs for which `conflicts` is non-empty — then the
 //! existing reachability + suppression pipeline runs on those. The
 //! sweep parallelizes by address shard; duplicate pairs from intervals
 //! spanning shard boundaries are deduplicated *before* analysis so
@@ -95,7 +95,7 @@ fn locks_intersect(a: &[u64], b: &[u64]) -> bool {
 }
 
 /// The suppression layer that killed a conflicting range. An enum (not
-/// a string) so [`analyze_pair_views`]'s match is exhaustive: adding a
+/// a string) so `analyze_pair_views`'s match is exhaustive: adding a
 /// layer without counting it is a compile error, not a silently dropped
 /// statistic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -375,7 +375,7 @@ pub(crate) fn sort_candidates(v: &mut [Candidate]) {
 
 /// Sweep a lo-sorted interval list, emitting the segment pairs whose
 /// footprints overlap with at least one write involved — exactly the
-/// pairs for which [`conflicts`] returns a non-empty range list.
+/// pairs for which `conflicts` returns a non-empty range list.
 /// Half-open semantics: intervals touching only at an endpoint do not
 /// pair (`a.hi > iv.lo` is strict), matching `IntervalTree::intersect`.
 pub(crate) fn sweep_pairs(ivs: &[SweepIv], out: &mut HashSet<(SegId, SegId)>) {
@@ -398,7 +398,7 @@ const SHARD_THRESHOLD: usize = 512;
 
 /// Address-indexed candidate generation for every interesting segment's
 /// intervals: a global endpoint sweep emits only segment pairs whose
-/// footprints actually overlap (see [`sweep_pairs`]). Parallelized by
+/// footprints actually overlap (see `sweep_pairs`). Parallelized by
 /// address shard — shard boundaries are quantiles of the sorted interval
 /// starts, an interval lands in every shard its footprint overlaps
 /// (clipped to the shard's coordinate range), and cross-shard duplicate

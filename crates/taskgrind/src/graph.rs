@@ -743,11 +743,20 @@ impl GraphBuilder {
             }
         }
         self.note_peak();
+        if tg_obs::trace::enabled() {
+            tg_obs::trace::counter(
+                "closed_bytes",
+                tg_obs::trace::PID_GUEST,
+                tg_obs::trace::TID_RETIRE,
+                self.closed_bytes,
+            );
+        }
         if throttle {
             self.maybe_retire();
             let st = self.stream.as_mut().unwrap();
             if st.closed_unretired.len() > st.max_live {
                 st.throttle_waits += 1;
+                let _bp = tg_obs::trace::host_span("backpressure");
                 st.sink.wait_drained();
             }
         }
@@ -1001,6 +1010,14 @@ impl GraphBuilder {
         st.any_retired = true;
         self.live_segments -= retire.len() as u64;
         let st = self.stream.as_mut().unwrap();
+        if tg_obs::trace::enabled() {
+            tg_obs::trace::instant(
+                format!("epoch {}", st.epoch_seq),
+                tg_obs::trace::PID_GUEST,
+                tg_obs::trace::TID_RETIRE,
+                vec![("retired", retire.len() as u64), ("live", self.live_segments)],
+            );
+        }
         st.sink.submit(epoch);
     }
 

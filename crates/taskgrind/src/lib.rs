@@ -50,6 +50,7 @@
 pub mod analysis;
 pub mod graph;
 pub mod itree;
+pub mod metrics;
 pub mod reach;
 pub mod report;
 pub mod stream;
@@ -194,8 +195,20 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
     }
     let mut vm = Vm::new(module.clone(), Box::new(tool), cfg.vm.clone());
 
+    if tg_obs::trace::enabled() {
+        use tg_obs::trace::{self, PID_GUEST, PID_HOST, TID_RETIRE};
+        trace::name_track(PID_HOST, trace::host_tid(), "vm (record + dispatch)");
+        for t in 0..cfg.vm.nthreads.max(1) {
+            trace::name_track(PID_GUEST, t as u32, &format!("guest thread {t}"));
+        }
+        trace::name_track(PID_GUEST, TID_RETIRE, "segment retirement");
+    }
+
     let t0 = Instant::now();
-    let run = vm.run(ExecMode::Dbi, args);
+    let run = {
+        let _sp = tg_obs::trace::host_span("recording");
+        vm.run(ExecMode::Dbi, args)
+    };
     let recording_secs = t0.elapsed().as_secs_f64();
     let tool_bytes = run.metrics.tool_bytes;
     let run_dispatch = run.metrics.dispatch;
@@ -209,26 +222,35 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
     // finalize consumes the builder — and with it the pipeline's sink,
     // so `finish` below sees end-of-stream once the final epoch drains
     let builder = std::mem::take(&mut rec.builder);
-    let (graph, mem_stats) = builder.finalize_with_stats();
-    let analysis = if let Some(p) = pipeline {
-        p.finish()
-    } else {
-        let reach = Reachability::compute(&graph);
-        if cfg.sweep {
-            analysis::run_sweep(&graph, &reach, &cfg.suppress, threads)
-        } else if threads > 1 {
-            analysis::run_parallel(&graph, &reach, &cfg.suppress, threads)
+    let (graph, mem_stats) = {
+        let _sp = tg_obs::trace::host_span("finalize graph");
+        builder.finalize_with_stats()
+    };
+    let analysis = {
+        let _sp = tg_obs::trace::host_span("analysis");
+        if let Some(p) = pipeline {
+            p.finish()
         } else {
-            analysis::run(&graph, &reach, &cfg.suppress)
+            let reach = Reachability::compute(&graph);
+            if cfg.sweep {
+                analysis::run_sweep(&graph, &reach, &cfg.suppress, threads)
+            } else if threads > 1 {
+                analysis::run_parallel(&graph, &reach, &cfg.suppress, threads)
+            } else {
+                analysis::run(&graph, &reach, &cfg.suppress)
+            }
         }
     };
-    let reports = report::summarize(
-        &graph,
-        &module_arc,
-        &rec.blocks,
-        &analysis.candidates,
-        &cfg.record.ignore_list,
-    );
+    let reports = {
+        let _sp = tg_obs::trace::host_span("report");
+        report::summarize(
+            &graph,
+            &module_arc,
+            &rec.blocks,
+            &analysis.candidates,
+            &cfg.record.ignore_list,
+        )
+    };
     let (reports, suppressed_reports) = cfg.suppressions.apply(reports);
     let analysis_secs = t1.elapsed().as_secs_f64();
 

@@ -1,0 +1,156 @@
+//! Publish a [`TaskgrindResult`] into the tg-obs metrics registry and
+//! render the CLI's `==` summary block from it.
+//!
+//! One source of truth: every counter the CLI prints is read back out of
+//! the registry, so the human-readable summary and the `--metrics-json`
+//! dump can never disagree. This also merges the two historically
+//! separate `== analysis:` lines (PR 3's engine/pairs line and PR 4's
+//! streaming line) into a single block.
+
+use crate::TaskgrindResult;
+use tg_obs::Registry;
+
+/// Publish every counter of `r` (plus the VM execution metrics) into
+/// `reg` under the `taskgrind.*`, `analysis.*`, `stream.*`, `filter.*`,
+/// `vm.*` and `dispatch.*` namespaces.
+pub fn publish(r: &TaskgrindResult, reg: &mut Registry) {
+    reg.set_u64("taskgrind.reports", r.n_reports() as u64);
+    reg.set_u64("taskgrind.suppressed_reports", r.suppressed_reports.len() as u64);
+    reg.set_u64("taskgrind.candidates", r.analysis.candidates.len() as u64);
+    reg.set_u64("taskgrind.segments", r.graph.n_nodes() as u64);
+    reg.set_u64("taskgrind.alloc_blocks", r.blocks.len() as u64);
+    reg.set_f64("taskgrind.recording_secs", r.recording_secs);
+    reg.set_f64("taskgrind.analysis_secs", r.analysis_secs);
+    reg.set_u64("taskgrind.tool_bytes", r.tool_bytes);
+
+    reg.set_str("analysis.engine", r.analysis_engine);
+    reg.set_u64("analysis.threads", r.analysis_threads_used as u64);
+    reg.set_u64("analysis.pairs_checked", r.analysis.pairs_checked);
+    reg.set_u64("analysis.unordered_pairs", r.analysis.unordered_pairs);
+    reg.set_u64("analysis.raw_ranges", r.analysis.raw_ranges);
+    reg.set_u64("analysis.suppressed_locks", r.analysis.suppressed_locks);
+    reg.set_u64("analysis.suppressed_mutex", r.analysis.suppressed_mutex);
+    reg.set_u64("analysis.suppressed_tls", r.analysis.suppressed_tls);
+    reg.set_u64("analysis.suppressed_stack", r.analysis.suppressed_stack);
+
+    reg.set_u64("stream.epochs", r.analysis_epochs);
+    reg.set_u64("stream.retired_segments", r.retired_segments);
+    reg.set_u64("stream.throttle_waits", r.throttle_waits);
+    reg.set_u64("stream.peak_live_segments", r.peak_live_segments);
+    reg.set_u64("stream.peak_tool_bytes", r.peak_tool_bytes);
+
+    reg.set_bool("filter.enabled", r.static_facts.is_some());
+    reg.set_u64("filter.sites_pruned", r.sites_pruned);
+    reg.set_u64("filter.sites_instrumented", r.sites_instrumented);
+    reg.set_u64("filter.accesses_recorded", r.accesses_recorded);
+
+    r.run.metrics.publish(reg);
+}
+
+/// Render the `==` summary block from a published registry. Line
+/// contents come *only* from registry lookups, so anything printed here
+/// is guaranteed to appear in `--metrics-json` too.
+pub fn render_summary(reg: &Registry) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== taskgrind: {} report(s) ({} raw candidates) | recording {:.3}s, analysis {:.3}s | {} segments, {} instrs\n",
+        reg.u64("taskgrind.reports"),
+        reg.u64("taskgrind.candidates"),
+        reg.f64("taskgrind.recording_secs"),
+        reg.f64("taskgrind.analysis_secs"),
+        reg.u64("taskgrind.segments"),
+        reg.u64("vm.instrs"),
+    ));
+    out.push_str(&format!(
+        "== analysis: engine {} | {} thread(s) | {} candidate pair(s), {} unordered | {} raw range(s) | {} epoch(s), {} retired, {} throttle wait(s) | peak {} live segment(s), {} high-water byte(s) | {:.3}s\n",
+        reg.str("analysis.engine"),
+        reg.u64("analysis.threads"),
+        reg.u64("analysis.pairs_checked"),
+        reg.u64("analysis.unordered_pairs"),
+        reg.u64("analysis.raw_ranges"),
+        reg.u64("stream.epochs"),
+        reg.u64("stream.retired_segments"),
+        reg.u64("stream.throttle_waits"),
+        reg.u64("stream.peak_live_segments"),
+        reg.u64("stream.peak_tool_bytes"),
+        reg.f64("taskgrind.analysis_secs"),
+    ));
+    out.push_str(&format!(
+        "== static filter: {} | {} site(s) pruned, {} instrumented, {} access(es) recorded\n",
+        if reg.bool("filter.enabled") { "on" } else { "off" },
+        reg.u64("filter.sites_pruned"),
+        reg.u64("filter.sites_instrumented"),
+        reg.u64("filter.accesses_recorded"),
+    ));
+    out.push_str(&format!(
+        "== dispatch: chaining {} | {} chain hit(s) ({} ibtc), {} probe(s), {} translation(s), {} eviction(s), {} discard(s)\n",
+        if reg.bool("engine.chaining") { "on" } else { "off" },
+        reg.u64("dispatch.chain_hits"),
+        reg.u64("dispatch.ibtc_hits"),
+        reg.u64("dispatch.probes"),
+        reg.u64("vm.translations"),
+        reg.u64("dispatch.evictions"),
+        reg.u64("dispatch.discarded_blocks"),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_module, TaskgrindConfig};
+    use grindcore::VmConfig;
+
+    #[test]
+    fn summary_is_rendered_from_registry_only() {
+        let src = r#"
+int main(void) {
+    int *x = (int*) malloc(2 * sizeof(int));
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task shared(x)
+            x[0] = 42;
+            #pragma omp task shared(x)
+            x[0] = 43;
+        }
+    }
+    return 0;
+}
+"#;
+        let m = guest_rt::build_single("test.c", src).unwrap();
+        let cfg = TaskgrindConfig {
+            vm: VmConfig { nthreads: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let r = check_module(&m, &[], &cfg);
+        let mut reg = Registry::new();
+        publish(&r, &mut reg);
+        reg.set_bool("engine.chaining", true);
+        let s = render_summary(&reg);
+        // exactly one merged analysis line
+        assert_eq!(s.matches("== analysis:").count(), 1, "{s}");
+        assert!(s.contains(&format!("engine {}", r.analysis_engine)), "{s}");
+        assert!(s.contains(&format!("{} candidate pair(s)", r.analysis.pairs_checked)), "{s}");
+        assert!(s.contains(&format!("{} epoch(s)", r.analysis_epochs)), "{s}");
+        assert!(
+            s.contains(&format!("{} segments, {} instrs", r.graph.n_nodes(), r.run.metrics.instrs)),
+            "{s}"
+        );
+        // the machine-readable dump carries everything the summary shows
+        let json = reg.to_json();
+        for key in [
+            "taskgrind.reports",
+            "analysis.pairs_checked",
+            "analysis.unordered_pairs",
+            "stream.epochs",
+            "stream.peak_tool_bytes",
+            "filter.sites_pruned",
+            "dispatch.chain_hits",
+            "vm.instrs",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "metrics json missing {key}");
+        }
+    }
+}

@@ -19,7 +19,7 @@
 //! overlapping pairs with the PR 3 sweep, keeps only pairs touching
 //! `S_e`, filters ordered pairs against reachability over the epoch
 //! edge snapshot, and runs the shared suppression pipeline
-//! ([`crate::analysis::analyze_pair_views`]). The frontier rule
+//! (`analysis::analyze_pair_views`). The frontier rule
 //! guarantees that (a) every pair analyzed at epoch `e` has the same
 //! ordered/unordered verdict under the epoch snapshot as under the
 //! final graph, and (b) every pair *not* analyzed at any epoch — one
@@ -171,17 +171,34 @@ impl Pipeline {
         let rx = Arc::new(Mutex::new(rx));
         let inflight: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
         let workers = (0..threads.max(1))
-            .map(|_| {
+            .map(|w| {
                 let rx: Arc<Mutex<Receiver<Epoch>>> = rx.clone();
                 let inflight = inflight.clone();
                 std::thread::spawn(move || {
+                    if tg_obs::trace::enabled() {
+                        tg_obs::trace::name_track(
+                            tg_obs::trace::PID_HOST,
+                            tg_obs::trace::host_tid(),
+                            &format!("analysis worker {w}"),
+                        );
+                    }
                     let mut local = AnalysisOutput::default();
                     loop {
                         // hold the lock only to receive, not to analyze
                         let msg = rx.lock().unwrap().recv();
                         let Ok(e) = msg else { break };
-                        local.absorb(analyze_epoch(&e, &opts));
-                        drop(e); // free the retired trees before signalling
+                        {
+                            let _sp = if tg_obs::trace::enabled() {
+                                tg_obs::trace::host_span_args(
+                                    "analyze epoch",
+                                    vec![("seq", e.seq), ("segs", e.segs.len() as u64)],
+                                )
+                            } else {
+                                tg_obs::trace::SpanGuard::inactive()
+                            };
+                            local.absorb(analyze_epoch(&e, &opts));
+                            drop(e); // free the retired trees before signalling
+                        }
                         let (m, cv) = &*inflight;
                         *m.lock().unwrap() -= 1;
                         cv.notify_all();

@@ -176,6 +176,39 @@ impl TaskgrindTool {
     }
 }
 
+/// Mirror a parallel-runtime client request onto the tg-obs *guest*
+/// track: one Chrome-trace thread per guest thread, carrying spans for
+/// parallel regions / implicit tasks / explicit tasks / critical
+/// sections and instants for the point events, so a run's task-segment
+/// timeline is visually inspectable in Perfetto. Only called when
+/// tracing is enabled; purely observational (the graph builder never
+/// sees these).
+fn trace_guest_creq(tid: Tid, code: u64, args: [u64; 5]) {
+    use tg_obs::trace::{self, PID_GUEST};
+    let t = tid as u32;
+    match code {
+        creq::PARALLEL_BEGIN => trace::begin("parallel", PID_GUEST, t),
+        creq::PARALLEL_END => trace::end(PID_GUEST, t),
+        creq::IMPLICIT_TASK_BEGIN => {
+            trace::begin(format!("implicit task r{}", args[0]), PID_GUEST, t)
+        }
+        creq::IMPLICIT_TASK_END => trace::end(PID_GUEST, t),
+        creq::TASK_CREATE => trace::instant("task create", PID_GUEST, t, vec![("fn", args[0])]),
+        creq::TASK_SPAWN => trace::instant("task spawn", PID_GUEST, t, vec![("task", args[0])]),
+        creq::TASK_BEGIN => trace::begin(format!("task {}", args[0]), PID_GUEST, t),
+        creq::TASK_END => trace::end(PID_GUEST, t),
+        creq::TASK_FULFILL => trace::instant("task fulfill", PID_GUEST, t, vec![("task", args[0])]),
+        creq::TASKWAIT => trace::instant("taskwait", PID_GUEST, t, Vec::new()),
+        creq::TASKGROUP_BEGIN => trace::begin("taskgroup", PID_GUEST, t),
+        creq::TASKGROUP_END => trace::end(PID_GUEST, t),
+        creq::BARRIER => trace::instant("barrier", PID_GUEST, t, vec![("id", args[0])]),
+        creq::CRITICAL_ENTER => trace::begin(format!("critical {:#x}", args[0]), PID_GUEST, t),
+        creq::CRITICAL_EXIT => trace::end(PID_GUEST, t),
+        creq::TASK_DEP => trace::instant("task dep", PID_GUEST, t, vec![("task", args[0])]),
+        _ => {}
+    }
+}
+
 fn thread_meta(core: &VmCore, tid: Tid) -> ThreadMeta {
     let t = &core.threads[tid];
     ThreadMeta {
@@ -254,6 +287,9 @@ impl Tool for TaskgrindTool {
             st.module = Some(core.module.clone());
         }
         let b = &mut st.builder;
+        if tg_obs::trace::enabled() {
+            trace_guest_creq(tid, code, args);
+        }
         match code {
             creq::PARALLEL_BEGIN => b.parallel_begin(&meta, args[0]),
             creq::PARALLEL_END => {

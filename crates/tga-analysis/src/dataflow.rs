@@ -3,7 +3,7 @@
 //! of globals.
 //!
 //! Every basic-block leader of every recovered function is lifted with
-//! [`grindcore::lift_superblock`] and interpreted over a tiny abstract
+//! `grindcore`'s superblock lifter and interpreted over a tiny abstract
 //! domain: a value is a known constant, a known offset from the
 //! block-entry `sp` or `fp`, or unknown. Because a leader is analysed
 //! with no knowledge of its callers or predecessors, any frame address

@@ -1,7 +1,7 @@
 //! Static binary analysis for TGA modules.
 //!
 //! This crate recovers a whole-program CFG and call graph from the
-//! decoded instruction stream ([`cfg`]), then runs conservative
+//! decoded instruction stream ([`mod@cfg`]), then runs conservative
 //! dataflow passes over the lifted `vex-ir` superblocks ([`dataflow`]):
 //! stack-slot escape analysis, stack-pointer protocol checking, and
 //! read-only classification of globals. The verdicts are exported as a

@@ -20,6 +20,8 @@
 //! [`sanity::check`] pass enforces the single-assignment discipline the
 //! interpreter relies on.
 
+#![warn(missing_docs)]
+
 pub mod pretty;
 pub mod sanity;
 
@@ -79,22 +81,31 @@ impl From<Temp> for Atom {
 /// Binary operators. Integer comparisons produce 0 or 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BinOp {
+    /// Wrapping addition.
     Add,
+    /// Wrapping subtraction.
     Sub,
+    /// Wrapping multiplication.
     Mul,
     /// Signed division; division by zero traps the VM.
     DivS,
     /// Signed remainder; division by zero traps the VM.
     RemS,
+    /// Bitwise and.
     And,
+    /// Bitwise or.
     Or,
+    /// Bitwise exclusive or.
     Xor,
+    /// Shift left (count masked to 0..63).
     Shl,
     /// Logical shift right.
     ShrU,
     /// Arithmetic shift right.
     ShrS,
+    /// Equality, producing 0/1.
     CmpEq,
+    /// Inequality, producing 0/1.
     CmpNe,
     /// Signed less-than.
     CmpLtS,
@@ -104,12 +115,17 @@ pub enum BinOp {
     CmpLtU,
     /// IEEE double addition over bit patterns.
     FAdd,
+    /// IEEE double subtraction over bit patterns.
     FSub,
+    /// IEEE double multiplication over bit patterns.
     FMul,
+    /// IEEE double division over bit patterns.
     FDiv,
-    /// IEEE comparisons producing 0/1.
+    /// IEEE equality producing 0/1 (NaN compares unequal).
     FCmpEq,
+    /// IEEE less-than producing 0/1.
     FCmpLt,
+    /// IEEE less-or-equal producing 0/1.
     FCmpLe,
 }
 
@@ -138,15 +154,42 @@ pub enum Rhs {
     /// Copy an atom.
     Atom(Atom),
     /// Read a guest register.
-    Get { reg: u8 },
+    Get {
+        /// Guest register number.
+        reg: u8,
+    },
     /// Load `ty.size()` bytes from guest memory.
-    Load { ty: Ty, addr: Atom },
+    Load {
+        /// Width of the load.
+        ty: Ty,
+        /// Guest address to load from.
+        addr: Atom,
+    },
     /// A binary operation.
-    Binop { op: BinOp, lhs: Atom, rhs: Atom },
+    Binop {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Atom,
+        /// Right operand.
+        rhs: Atom,
+    },
     /// A unary operation.
-    Unop { op: UnOp, x: Atom },
+    Unop {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        x: Atom,
+    },
     /// `if cond != 0 { then } else { els }` — branchless select.
-    Ite { cond: Atom, then: Atom, els: Atom },
+    Ite {
+        /// Select condition (any non-zero value selects `then`).
+        cond: Atom,
+        /// Value when the condition is non-zero.
+        then: Atom,
+        /// Value when the condition is zero.
+        els: Atom,
+    },
 }
 
 /// Identifies the callee of a [`Stmt::Dirty`] statement.
@@ -159,9 +202,15 @@ pub enum DirtyCall {
     ClientRequest,
     /// A tool-injected memory callback: args are `[addr, size]`.
     /// Only instrumentation inserts these.
-    ToolMem { write: bool },
+    ToolMem {
+        /// True for a store callback, false for a load.
+        write: bool,
+    },
     /// A custom tool helper identified by a tool-chosen id.
-    ToolHelper { id: u32 },
+    ToolHelper {
+        /// Tool-chosen helper id, routed back to the registering tool.
+        id: u32,
+    },
 }
 
 /// Why a block (or side exit) transfers control — Valgrind's `IRJumpKind`.
@@ -170,7 +219,10 @@ pub enum JumpKind {
     /// An ordinary jump or fallthrough.
     Boring,
     /// A function call (the shadow call stack pushes the return address).
-    Call { return_addr: u64 },
+    Call {
+        /// Guest address execution resumes at after the callee returns.
+        return_addr: u64,
+    },
     /// A function return (the shadow call stack pops).
     Ret,
     /// The guest executed a halt; the thread exits.
@@ -181,22 +233,74 @@ pub enum JumpKind {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Stmt {
     /// Marks the start of the guest instruction at `addr` (`IMark` in VEX).
-    IMark { addr: u64, len: u32 },
+    IMark {
+        /// Guest address of the instruction.
+        addr: u64,
+        /// Encoded length of the instruction in bytes.
+        len: u32,
+    },
     /// Define a temporary.
-    WrTmp { dst: Temp, rhs: Rhs },
+    WrTmp {
+        /// Temporary being defined (exactly once per block).
+        dst: Temp,
+        /// Value expression.
+        rhs: Rhs,
+    },
     /// Write a guest register.
-    Put { reg: u8, src: Atom },
+    Put {
+        /// Guest register number.
+        reg: u8,
+        /// Value to write.
+        src: Atom,
+    },
     /// Store to guest memory.
-    Store { ty: Ty, addr: Atom, val: Atom },
+    Store {
+        /// Width of the store.
+        ty: Ty,
+        /// Guest address to store to.
+        addr: Atom,
+        /// Value to store.
+        val: Atom,
+    },
     /// Atomic compare-and-swap:
     /// `dst = mem[addr]; if dst == expected { mem[addr] = new }`.
-    Cas { dst: Temp, addr: Atom, expected: Atom, new: Atom },
+    Cas {
+        /// Receives the old memory value.
+        dst: Temp,
+        /// Guest address operated on.
+        addr: Atom,
+        /// Value the memory must hold for the swap to happen.
+        expected: Atom,
+        /// Replacement value.
+        new: Atom,
+    },
     /// Atomic fetch-and-add: `dst = mem[addr]; mem[addr] += val`.
-    AtomicAdd { dst: Temp, addr: Atom, val: Atom },
+    AtomicAdd {
+        /// Receives the old memory value.
+        dst: Temp,
+        /// Guest address operated on.
+        addr: Atom,
+        /// Addend.
+        val: Atom,
+    },
     /// A dirty helper call (syscall / client request / tool callback).
-    Dirty { call: DirtyCall, args: Vec<Atom>, dst: Option<Temp> },
+    Dirty {
+        /// Which helper is being called.
+        call: DirtyCall,
+        /// Call arguments, already flattened to atoms.
+        args: Vec<Atom>,
+        /// Optional temporary receiving the helper's return value.
+        dst: Option<Temp>,
+    },
     /// Guarded side exit: if `guard != 0`, leave the block for `target`.
-    Exit { guard: Atom, target: u64, kind: JumpKind },
+    Exit {
+        /// Exit condition (any non-zero value takes the exit).
+        guard: Atom,
+        /// Constant guest destination address.
+        target: u64,
+        /// Control-transfer kind of the exit.
+        kind: JumpKind,
+    },
 }
 
 /// A block exit described at translation time, used by the dispatcher's
@@ -208,6 +312,7 @@ pub struct StaticExit {
     /// an indirect exit (computed `next`, e.g. a return), which the
     /// dispatcher resolves through its indirect-branch target cache.
     pub target: Option<u64>,
+    /// Control-transfer kind of the exit.
     pub kind: JumpKind,
 }
 

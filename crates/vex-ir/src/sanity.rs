@@ -11,15 +11,40 @@ use crate::{Atom, IrBlock, Rhs, Stmt, Temp};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SanityError {
     /// A temporary was referenced before any statement defined it.
-    UseBeforeDef { stmt_index: usize, temp: Temp },
+    UseBeforeDef {
+        /// Index of the offending statement in the block.
+        stmt_index: usize,
+        /// The temporary that was used.
+        temp: Temp,
+    },
     /// A temporary was defined more than once.
-    Redefinition { stmt_index: usize, temp: Temp },
+    Redefinition {
+        /// Index of the second (offending) definition.
+        stmt_index: usize,
+        /// The temporary that was redefined.
+        temp: Temp,
+    },
     /// A temporary index is out of the declared `n_temps` range.
-    TempOutOfRange { stmt_index: usize, temp: Temp },
+    TempOutOfRange {
+        /// Index of the offending statement in the block.
+        stmt_index: usize,
+        /// The out-of-range temporary.
+        temp: Temp,
+    },
     /// The block's `next` atom references an undefined temporary.
-    BadNext { temp: Temp },
+    BadNext {
+        /// The undefined temporary named by `next`.
+        temp: Temp,
+    },
     /// A dirty call's arity does not match its kind's expectations.
-    BadDirtyArity { stmt_index: usize, expected: usize, got: usize },
+    BadDirtyArity {
+        /// Index of the offending statement in the block.
+        stmt_index: usize,
+        /// Minimum argument count for the call kind.
+        expected: usize,
+        /// Argument count actually present.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for SanityError {

@@ -1,0 +1,157 @@
+//! tg-obs integration: structured tracing must be invisible to every
+//! verdict-bearing output, and a traced run must export a well-formed
+//! Chrome-trace/Perfetto timeline carrying both the host pipeline
+//! phases and the guest task-segment track.
+//!
+//! The trace ring is process-global, so the tests in this binary
+//! serialize on a mutex (cargo runs `#[test]`s of one binary in
+//! parallel threads).
+
+use std::sync::Mutex;
+use taskgrind::{check_module, TaskgrindConfig};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const RACY_TASKS: &str = r#"
+int main(void) {
+    int *x = (int*) malloc(4 * sizeof(int));
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            for (int i = 0; i < 8; i++) {
+                #pragma omp task shared(x)
+                x[i % 4] = i;
+            }
+            #pragma omp taskwait
+        }
+    }
+    printf("%d\n", x[0]);
+    return 0;
+}
+"#;
+
+const ORDERED_DEPS: &str = r#"
+int main(void) {
+    int a = 0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            #pragma omp task depend(out: a)
+            a = 1;
+            #pragma omp task depend(in: a)
+            printf("%d\n", a);
+        }
+    }
+    return 0;
+}
+"#;
+
+const CRITICAL_LOOP: &str = r#"
+int main(void) {
+    int sum = 0;
+    #pragma omp parallel
+    {
+        #pragma omp critical
+        sum = sum + 1;
+        #pragma omp barrier
+    }
+    printf("%d\n", sum);
+    return 0;
+}
+"#;
+
+fn run(name: &str, src: &str, streaming: bool) -> taskgrind::TaskgrindResult {
+    let m = guest_rt::build_single(name, src).expect("compiles");
+    let cfg = TaskgrindConfig {
+        vm: grindcore::VmConfig { nthreads: 2, ..Default::default() },
+        streaming,
+        ..Default::default()
+    };
+    check_module(&m, &[], &cfg)
+}
+
+/// Table-style differential: enabling the trace ring must leave every
+/// verdict, counter and rendered report bit-identical.
+#[test]
+fn tracing_is_invisible_to_verdicts() {
+    let _g = lock();
+    for (name, src, streaming) in [
+        ("racy_tasks.c", RACY_TASKS, false),
+        ("racy_tasks.c", RACY_TASKS, true),
+        ("ordered_deps.c", ORDERED_DEPS, false),
+        ("critical_loop.c", CRITICAL_LOOP, false),
+    ] {
+        tg_obs::trace::shutdown();
+        let plain = run(name, src, streaming);
+
+        tg_obs::trace::init_default();
+        let traced = run(name, src, streaming);
+        let trace = tg_obs::trace::export_chrome_json();
+        tg_obs::trace::shutdown();
+
+        let ctx = format!("{name} streaming={streaming}");
+        assert_eq!(plain.render_all(), traced.render_all(), "{ctx}: report text");
+        assert_eq!(plain.n_reports(), traced.n_reports(), "{ctx}: report count");
+        assert_eq!(plain.analysis.candidates, traced.analysis.candidates, "{ctx}: candidates");
+        assert_eq!(plain.accesses_recorded, traced.accesses_recorded, "{ctx}: accesses recorded");
+        tg_obs::trace::validate_chrome_trace(&trace)
+            .unwrap_or_else(|e| panic!("{ctx}: invalid trace: {e}"));
+    }
+}
+
+/// A traced run exports well-formed Chrome-trace JSON whose spans cover
+/// the host pipeline (recording, translation, analysis, report) and
+/// whose guest track carries the task-segment timeline.
+#[test]
+fn traced_run_exports_host_and_guest_tracks() {
+    let _g = lock();
+    tg_obs::trace::shutdown();
+    tg_obs::trace::init_default();
+    let r = run("racy_tasks.c", RACY_TASKS, true);
+    assert!(r.n_reports() > 0, "the workload must report races");
+    let trace = tg_obs::trace::export_chrome_json();
+    tg_obs::trace::shutdown();
+
+    let s = tg_obs::trace::validate_chrome_trace(&trace).expect("well-formed trace");
+    assert!(s.begins > 0 && s.begins == s.ends, "balanced spans: {s:?}");
+    assert!(s.pids.contains(&u64::from(tg_obs::trace::PID_HOST)), "host track present");
+    assert!(s.pids.contains(&u64::from(tg_obs::trace::PID_GUEST)), "guest track present");
+    // Host pipeline phases.
+    for phase in ["recording", "translate", "lift", "instrument", "analysis", "report"] {
+        assert!(s.names.contains(phase), "missing host phase span `{phase}`: {:?}", s.names);
+    }
+    // Guest task-segment timeline from the runtime's client requests.
+    assert!(s.names.contains("parallel"), "missing guest parallel span: {:?}", s.names);
+    assert!(
+        s.names.iter().any(|n| n.starts_with("task ") || n.starts_with("implicit task")),
+        "missing guest task spans: {:?}",
+        s.names
+    );
+    // The streaming engine stamps epoch instants on the retirement track.
+    assert!(
+        s.names.iter().any(|n| n.starts_with("epoch ")),
+        "missing retirement epochs: {:?}",
+        s.names
+    );
+}
+
+/// With the ring disabled (the default), the hooks stay cold: nothing
+/// is buffered and the exporter emits an empty-but-valid trace.
+#[test]
+fn disabled_tracing_buffers_nothing() {
+    let _g = lock();
+    tg_obs::trace::shutdown();
+    let _ = run("ordered_deps.c", ORDERED_DEPS, false);
+    assert!(!tg_obs::trace::enabled());
+    assert_eq!(tg_obs::trace::buffered(), 0);
+    let trace = tg_obs::trace::export_chrome_json();
+    let s = tg_obs::trace::validate_chrome_trace(&trace).expect("empty trace is valid");
+    assert_eq!(s.begins, 0);
+    assert_eq!(s.instants, 0);
+}

@@ -70,6 +70,21 @@ fn assert_identical(a: &TaskgrindResult, b: &TaskgrindResult, ctx: &str) {
     assert_eq!(a.accesses_recorded, b.accesses_recorded, "{ctx}: accesses recorded");
     assert_eq!(a.n_reports(), b.n_reports(), "{ctx}: report count");
     assert_eq!(a.render_all(), b.render_all(), "{ctx}: report text");
+    // The registry-rendered summary block must have the merged shape for
+    // every engine: exactly one `== analysis:` line (the historical
+    // engine/pairs and streaming lines are one block now) and four `==`
+    // lines total.
+    for r in [a, b] {
+        let mut reg = tg_obs::Registry::new();
+        taskgrind::metrics::publish(r, &mut reg);
+        let s = taskgrind::metrics::render_summary(&reg);
+        assert_eq!(s.matches("== analysis:").count(), 1, "{ctx}: merged analysis line\n{s}");
+        assert_eq!(s.matches("== ").count(), 4, "{ctx}: summary line count\n{s}");
+        assert!(
+            s.contains(&format!("engine {}", r.analysis_engine)),
+            "{ctx}: summary names the analysis engine\n{s}"
+        );
+    }
 }
 
 /// Sweep, bulk ingestion and streaming retirement preserve every
