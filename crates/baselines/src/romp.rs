@@ -234,7 +234,13 @@ pub fn run_romp(module: &Module, args: &[&str], vm_cfg: &VmConfig) -> BaselineRu
     }
     let graph = st.builder.finalize();
     let reach = Reachability::compute(&graph);
-    let opts = SuppressOptions { tls: true, stack: true, locks: true, mutexinoutset: false };
+    let opts = SuppressOptions {
+        tls: true,
+        stack: true,
+        locks: true,
+        mutexinoutset: false,
+        static_proof: false,
+    };
     let out = analysis::run(&graph, &reach, &opts);
     let time_secs = t0.elapsed().as_secs_f64();
 

@@ -209,7 +209,13 @@ pub fn run_tasksan(module: &Module, args: &[&str], vm_cfg: &VmConfig) -> Baselin
     let graph = st.builder.finalize();
     let reach = Reachability::compute(&graph);
     // no stack/TLS suppression, no mutexinoutset exclusion
-    let opts = SuppressOptions { tls: false, stack: false, locks: true, mutexinoutset: false };
+    let opts = SuppressOptions {
+        tls: false,
+        stack: false,
+        locks: true,
+        mutexinoutset: false,
+        static_proof: false,
+    };
     let out = analysis::run(&graph, &reach, &opts);
     let time_secs = t0.elapsed().as_secs_f64();
 

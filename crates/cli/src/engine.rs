@@ -16,6 +16,8 @@ pub struct Opts {
     pub no_ignore: bool,
     pub keep_free: bool,
     pub no_static_filter: bool,
+    pub no_static_concurrency: bool,
+    pub lint_json: Option<String>,
     pub no_chaining: bool,
     pub cache_blocks: Option<usize>,
     pub no_suppress: bool,
@@ -98,6 +100,14 @@ pub const FLAGS: &[FlagSpec] = &[
         effect: "prune instrumentation of statically safe accesses (tga-analysis)",
     },
     FlagSpec {
+        knob: "static_concurrency",
+        flag: "`--no-static-concurrency`",
+        env: None,
+        default: "on",
+        subsystem: "analysis",
+        effect: "static lockset/lock-order findings + statically-proven sweep suppression",
+    },
+    FlagSpec {
         knob: "streaming",
         flag: "`--streaming` / `--no-streaming`",
         env: Some("`TG_STREAMING`"),
@@ -168,6 +178,7 @@ pub struct EngineConfig {
     pub bulk: bool,
     pub fuse: bool,
     pub static_filter: bool,
+    pub static_concurrency: bool,
     pub streaming: bool,
     pub max_live_segments: usize,
     /// Write a Chrome-trace JSON timeline here (`--trace-out`).
@@ -192,6 +203,7 @@ impl EngineConfig {
             bulk: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
             fuse: !o.no_fuse && std::env::var_os("TG_NO_FUSE").is_none(),
             static_filter: !o.no_static_filter,
+            static_concurrency: !o.no_static_concurrency,
             streaming: if o.streaming {
                 true
             } else if o.no_streaming {
@@ -229,6 +241,7 @@ impl EngineConfig {
             ("bulk", onoff(self.bulk)),
             ("fuse", onoff(self.fuse)),
             ("static_filter", onoff(self.static_filter)),
+            ("static_concurrency", onoff(self.static_concurrency)),
             ("streaming", onoff(self.streaming)),
             ("max_live_segments", self.max_live_segments.to_string()),
             ("trace_out", self.trace_out.clone().unwrap_or_else(|| "off".into())),
@@ -245,6 +258,7 @@ impl EngineConfig {
         reg.set_bool("engine.bulk", self.bulk);
         reg.set_bool("engine.fuse", self.fuse);
         reg.set_bool("engine.static_filter", self.static_filter);
+        reg.set_bool("engine.static_concurrency", self.static_concurrency);
         reg.set_bool("engine.streaming", self.streaming);
         reg.set_u64("engine.max_live_segments", self.max_live_segments as u64);
         reg.set_bool("engine.self_profile", self.self_profile);
@@ -257,13 +271,14 @@ pub fn usage() -> ! {
     eprintln!(
         "              [--random-sched] [--no-ignore-list] [--keep-free] [--no-static-filter]"
     );
+    eprintln!("              [--no-static-concurrency]");
     eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
     eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk] [--no-fuse]");
     eprintln!("              [--streaming|--no-streaming] [--max-live-segments=N]");
     eprintln!("              [--trace-out=FILE] [--metrics-json=FILE] [--self-profile]");
     eprintln!("              [--dot=FILE] [--disasm]");
     eprintln!("              <program.c> [-- args...]");
-    eprintln!("       tgrind lint <program.c>");
+    eprintln!("       tgrind lint [--lint-json=FILE] <program.c>");
     eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_STREAMING, TG_TRACE_OUT, TG_METRICS_JSON,");
     eprintln!("            TG_SELF_PROFILE (flags win over env)");
     std::process::exit(2)
@@ -280,6 +295,8 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
         no_ignore: false,
         keep_free: false,
         no_static_filter: false,
+        no_static_concurrency: false,
+        lint_json: None,
         no_chaining: false,
         cache_blocks: None,
         no_suppress: false,
@@ -318,6 +335,10 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
             o.keep_free = true;
         } else if a == "--no-static-filter" {
             o.no_static_filter = true;
+        } else if a == "--no-static-concurrency" {
+            o.no_static_concurrency = true;
+        } else if let Some(v) = a.strip_prefix("--lint-json=") {
+            o.lint_json = Some(v.to_string());
         } else if a == "--no-chaining" {
             o.no_chaining = true;
         } else if let Some(v) = a.strip_prefix("--cache-blocks=") {

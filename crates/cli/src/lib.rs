@@ -6,3 +6,4 @@
 //! a process.
 
 pub mod engine;
+pub mod lint;

@@ -1,0 +1,69 @@
+//! Publish a static-analysis verdict table ([`StaticFacts`]) into the
+//! tg-obs metrics registry and render `tgrind lint`'s output from it.
+//!
+//! The same single-source-of-truth rule as `taskgrind::metrics`: the
+//! human-readable report the CLI prints is read back out of the
+//! registry (`lint.report`), and the `--lint-json` dump serializes that
+//! registry — so the two can never disagree.
+
+use tg_obs::Registry;
+use tga_analysis::StaticFacts;
+
+/// Publish `facts` under the `lint.*` namespace: summary counters, one
+/// `lint.finding.NNN` entry per finding (rendered with its `file:line`
+/// anchor), and the full human-readable report as `lint.report`.
+pub fn publish(facts: &StaticFacts, reg: &mut Registry) {
+    reg.set_u64("lint.functions", facts.stats.functions as u64);
+    reg.set_u64("lint.blocks", facts.stats.blocks as u64);
+    reg.set_u64("lint.safe_pcs", facts.safe_pcs.len() as u64);
+    reg.set_u64("lint.access_pcs", facts.access_pcs as u64);
+    reg.set_u64("lint.ro_globals", facts.ro.len() as u64);
+    reg.set_u64("lint.init_only_globals", facts.init_only.len() as u64);
+    reg.set_u64("lint.locks", facts.lock_universe.len() as u64);
+    reg.set_u64("lint.guarded_sites", facts.guarded.len() as u64);
+    reg.set_u64("lint.findings", facts.findings.len() as u64);
+    for (i, f) in facts.findings.iter().enumerate() {
+        reg.set_str(&format!("lint.finding.{i:03}"), &f.to_string());
+    }
+    reg.set_str("lint.report", &facts.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_and_counters_come_from_one_registry() {
+        let src = r#"
+int main(void) {
+    #pragma omp parallel
+    {
+        #pragma omp critical (a)
+        {
+            #pragma omp critical (b)
+            { }
+        }
+        #pragma omp critical (b)
+        {
+            #pragma omp critical (a)
+            { }
+        }
+    }
+    return 0;
+}
+"#;
+        let m = guest_rt::build_single("lintcli.c", src).unwrap();
+        let facts = tga_analysis::analyze(&m);
+        let mut reg = Registry::new();
+        publish(&facts, &mut reg);
+        // the printed report is exactly the registry entry
+        assert_eq!(reg.str("lint.report"), facts.render());
+        assert_eq!(reg.u64("lint.findings"), facts.findings.len() as u64);
+        // every finding string in the report is in the JSON dump too
+        let json = reg.to_json();
+        for (i, f) in facts.findings.iter().enumerate() {
+            assert!(json.contains(&format!("lint.finding.{i:03}")), "{json}");
+            let _ = f;
+        }
+    }
+}

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! tgrind [options] <program.c> [-- <guest args>...]
-//! tgrind lint <program.c>      static analysis only: CFG stats + findings
+//! tgrind lint [--lint-json=<file>] <program.c>
+//!                        static analysis only: CFG stats, lock findings
+//!                        (deadlock cycles, double locks, lock leaks);
+//!                        exits non-zero when there are findings
 //!
 //!   --tool=<taskgrind|archer|tasksan|romp|none>   (default: taskgrind)
 //!   --threads=<n>        OMP_NUM_THREADS analog    (default: 1)
@@ -11,6 +14,10 @@
 //!   --no-ignore-list     record runtime-internal accesses too
 //!   --keep-free          do not replace the allocator (IV-B off)
 //!   --no-static-filter   do not prune instrumentation with static facts
+//!   --no-static-concurrency  disable the static concurrency pass: no
+//!                        lock findings in lint and no statically-proven
+//!                        guard masks in the sweep (verdicts unchanged)
+//!   --lint-json=<file>   (lint mode) dump the lint registry as JSON
 //!   --no-chaining        disable superblock chaining (slow dispatch)
 //!   --cache-blocks=<n>   translation-cache capacity in superblocks
 //!   --no-suppress        disable all analysis-time suppression
@@ -151,9 +158,18 @@ fn main() -> ExitCode {
 
     if o.lint {
         let m = build(false);
-        let facts = tga_analysis::analyze(&m);
-        print!("{}", facts.render());
-        return ExitCode::from(if facts.findings.is_empty() { 0 } else { 1 });
+        let opts = tga_analysis::AnalyzeOpts { concurrency: eng.static_concurrency };
+        let facts = tga_analysis::analyze_with(&m, &opts);
+        // Findings route through one registry: the printed report is the
+        // `lint.report` entry, and `--lint-json` dumps the same registry,
+        // so human and machine output cannot disagree.
+        let mut reg = tg_obs::Registry::new();
+        tg_cli::lint::publish(&facts, &mut reg);
+        print!("{}", reg.str("lint.report"));
+        if let Some(path) = &o.lint_json {
+            write_artifact("lint json", path, &reg.to_json());
+        }
+        return ExitCode::from(if reg.u64("lint.findings") > 0 { 1 } else { 0 });
     }
 
     match o.tool.as_str() {
@@ -215,13 +231,20 @@ fn main() -> ExitCode {
                     },
                     replace_allocator: !o.keep_free,
                     static_filter: eng.static_filter,
+                    static_concurrency: eng.static_concurrency,
                     bulk_ingest: eng.bulk,
                     ..Default::default()
                 },
                 suppress: if o.no_suppress {
-                    SuppressOptions { tls: false, stack: false, locks: false, mutexinoutset: false }
+                    SuppressOptions {
+                        tls: false,
+                        stack: false,
+                        locks: false,
+                        mutexinoutset: false,
+                        static_proof: false,
+                    }
                 } else {
-                    SuppressOptions::default()
+                    SuppressOptions { static_proof: eng.static_concurrency, ..Default::default() }
                 },
                 analysis_threads: o.analysis_threads,
                 sweep: eng.sweep,

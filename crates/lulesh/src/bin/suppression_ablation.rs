@@ -14,7 +14,13 @@ fn main() {
     let params =
         LuleshParams { s: 4, tel: 2, tnl: 2, iters: 2, progress: false, racy: false, threads: 1 };
     let all_on = SuppressOptions::default();
-    let all_off = SuppressOptions { tls: false, stack: false, locks: false, mutexinoutset: false };
+    let all_off = SuppressOptions {
+        tls: false,
+        stack: false,
+        locks: false,
+        mutexinoutset: false,
+        static_proof: false,
+    };
 
     println!("suppression ablation on LULESH -s 4 -tel 2 -tnl 2 -i 2 (non-racy: every report is a false positive)");
     println!("{:<58} {:>12} {:>12}", "configuration", "candidates", "reports");

@@ -48,11 +48,23 @@ pub struct SuppressOptions {
     pub stack: bool,
     pub locks: bool,
     pub mutexinoutset: bool,
+    /// Honor static guard proofs carried on segments
+    /// ([`SegView::guard_mask`]). Sound static proofs are a strict
+    /// subset of what dynamic lock tracking already suppresses, so the
+    /// layer only fires when `locks` is off or dynamic tracking missed
+    /// a critical section.
+    pub static_proof: bool,
 }
 
 impl Default for SuppressOptions {
     fn default() -> Self {
-        SuppressOptions { tls: true, stack: true, locks: true, mutexinoutset: true }
+        SuppressOptions {
+            tls: true,
+            stack: true,
+            locks: true,
+            mutexinoutset: true,
+            static_proof: true,
+        }
     }
 }
 
@@ -77,6 +89,9 @@ pub struct AnalysisOutput {
     pub suppressed_mutex: u64,
     pub suppressed_tls: u64,
     pub suppressed_stack: u64,
+    /// Ranges killed by a static guard proof
+    /// ([`Suppression::StaticProof`]).
+    pub suppressed_static: u64,
 }
 
 /// Both inputs are kept sorted at build time (`graph.rs` inserts locks
@@ -103,6 +118,11 @@ pub enum Suppression {
     Mutexinoutset,
     Tls,
     Stack,
+    /// Every access in both segments was statically proven to execute
+    /// under at least one common lock (the segments' guard masks
+    /// intersect). Checked last, after every dynamic layer, so enabling
+    /// it cannot reshuffle the dynamic suppression counters.
+    StaticProof,
 }
 
 /// A borrowed view of everything pair analysis needs from one segment.
@@ -131,6 +151,11 @@ pub struct SegView<'a> {
     /// `mutex_objs` of the owning task (sorted; empty when `task` is
     /// `None`).
     pub mutex_objs: &'a [u64],
+    /// AND-fold of the static guard masks of every access recorded into
+    /// this segment (bit *i* set ⇔ every access was statically proven
+    /// to hold lock *i* of the analysis' lock universe). `!0` while the
+    /// segment is empty; an access with no proof zeroes it.
+    pub guard_mask: u64,
 }
 
 impl<'a> SegView<'a> {
@@ -151,6 +176,7 @@ impl<'a> SegView<'a> {
             tls_gen: s.tls_gen,
             task: s.task,
             mutex_objs: s.task.map(|t| &g.tasks[t as usize].mutex_objs[..]).unwrap_or(&[]),
+            guard_mask: s.guard_mask,
         }
     }
 }
@@ -186,6 +212,13 @@ fn suppress_range(
         if local_to(a) && local_to(b) {
             return Some(Suppression::Stack);
         }
+    }
+    // Last on purpose: a sound static proof implies the dynamic lock
+    // layer already caught the pair, so checking after every dynamic
+    // layer keeps their counters byte-identical whether this toggle is
+    // on or off.
+    if opts.static_proof && a.guard_mask & b.guard_mask != 0 {
+        return Some(Suppression::StaticProof);
     }
     None
 }
@@ -229,6 +262,7 @@ pub(crate) fn analyze_pair_views(
             Some(Suppression::Tls) => out.suppressed_tls += 1,
             Some(Suppression::Stack) => out.suppressed_stack += 1,
             Some(Suppression::Mutexinoutset) => out.suppressed_mutex += 1,
+            Some(Suppression::StaticProof) => out.suppressed_static += 1,
         }
     }
 }
@@ -254,6 +288,7 @@ impl AnalysisOutput {
         self.suppressed_mutex += p.suppressed_mutex;
         self.suppressed_tls += p.suppressed_tls;
         self.suppressed_stack += p.suppressed_stack;
+        self.suppressed_static += p.suppressed_static;
     }
 }
 
@@ -679,6 +714,90 @@ mod tests {
         assert!(out.suppressed_mutex > 0);
     }
 
+    /// Two tasks racing on one address, every access tagged with a
+    /// common statically-proven guard bit, dynamic lock tracking OFF:
+    /// only the StaticProof layer can (and does) kill the pair.
+    fn static_guarded_pair(mask1: u64, mask2: u64) -> GraphBuilder {
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        for mask in [mask1, mask2] {
+            let t = b.task_create(&m, 0, 0x1);
+            b.task_spawn(&m, t);
+            b.task_begin(&m, t);
+            b.record_access_masked(&m, 0xE000, 8, true, mask);
+            b.task_end(&m, t);
+        }
+        b
+    }
+
+    #[test]
+    fn static_proof_suppresses_when_masks_intersect() {
+        let opts = SuppressOptions { locks: false, ..Default::default() };
+        let g = static_guarded_pair(0b01, 0b11).finalize();
+        let r = Reachability::compute(&g);
+        let out = run(&g, &r, &opts);
+        assert!(out.candidates.is_empty(), "{:?}", out.candidates);
+        assert!(out.suppressed_static > 0);
+        // disjoint masks (different proven locks) do NOT suppress
+        let g = static_guarded_pair(0b01, 0b10).finalize();
+        let r = Reachability::compute(&g);
+        let out = run(&g, &r, &opts);
+        assert_eq!(out.candidates.len(), 1);
+        assert_eq!(out.suppressed_static, 0);
+        // one unproven access in a segment zeroes its fold
+        let g = {
+            let mut b = static_guarded_pair(0b01, 0b01);
+            let m = meta(0);
+            let t = b.task_create(&m, 0, 0x1);
+            b.task_spawn(&m, t);
+            b.task_begin(&m, t);
+            b.record_access_masked(&m, 0xE000, 8, true, 0b01);
+            b.record_access(&m, 0xE008, 8, false); // no proof → mask 0
+            b.task_end(&m, t);
+            b.finalize()
+        };
+        let r = Reachability::compute(&g);
+        let out = run(&g, &r, &opts);
+        assert!(
+            out.candidates.iter().any(|c| c.lo == 0xE000),
+            "mixed segment must not be proof-suppressed: {:?}",
+            out.candidates
+        );
+    }
+
+    #[test]
+    fn static_proof_toggle_exposes_the_pair() {
+        let opts = SuppressOptions { locks: false, static_proof: false, ..Default::default() };
+        let g = static_guarded_pair(0b01, 0b01).finalize();
+        let r = Reachability::compute(&g);
+        let out = run(&g, &r, &opts);
+        assert_eq!(out.candidates.len(), 1);
+        assert_eq!(out.suppressed_static, 0);
+    }
+
+    #[test]
+    fn static_proof_checked_after_dynamic_layers() {
+        // the same pair under a *dynamic* critical section AND a static
+        // proof: the locks layer must claim it, leaving the static
+        // counter at zero — this is what keeps verdicts and counters
+        // bit-identical when the concurrency pass is toggled
+        let mut b = GraphBuilder::new();
+        let m = meta(0);
+        for _ in 0..2 {
+            let t = b.task_create(&m, 0, 0x1);
+            b.task_spawn(&m, t);
+            b.task_begin(&m, t);
+            b.critical_enter(&m, 9);
+            b.record_access_masked(&m, 0xE000, 8, true, 0b1);
+            b.critical_exit(&m, 9);
+            b.task_end(&m, t);
+        }
+        let out = analyze(b);
+        assert!(out.candidates.is_empty());
+        assert!(out.suppressed_locks > 0);
+        assert_eq!(out.suppressed_static, 0);
+    }
+
     #[test]
     fn inoutset_members_do_race() {
         let mut b = GraphBuilder::new();
@@ -801,6 +920,7 @@ mod tests {
         assert_eq!(a.suppressed_mutex, b.suppressed_mutex, "{ctx}");
         assert_eq!(a.suppressed_tls, b.suppressed_tls, "{ctx}");
         assert_eq!(a.suppressed_stack, b.suppressed_stack, "{ctx}");
+        assert_eq!(a.suppressed_static, b.suppressed_static, "{ctx}");
     }
 
     #[test]
@@ -935,7 +1055,13 @@ mod tests {
             let r = Reachability::compute(&g);
             for opts in [
                 SuppressOptions::default(),
-                SuppressOptions { tls: false, stack: false, locks: false, mutexinoutset: false },
+                SuppressOptions {
+                    tls: false,
+                    stack: false,
+                    locks: false,
+                    mutexinoutset: false,
+                    static_proof: false,
+                },
             ] {
                 let seq = run(&g, &r, &opts);
                 for threads in [1usize, 3] {
@@ -946,6 +1072,7 @@ mod tests {
                     proptest::prop_assert_eq!(seq.suppressed_mutex, sw.suppressed_mutex);
                     proptest::prop_assert_eq!(seq.suppressed_tls, sw.suppressed_tls);
                     proptest::prop_assert_eq!(seq.suppressed_stack, sw.suppressed_stack);
+                    proptest::prop_assert_eq!(seq.suppressed_static, sw.suppressed_static);
                 }
             }
         }
@@ -964,7 +1091,13 @@ mod tests {
         }
         let g = b.finalize();
         let r = Reachability::compute(&g);
-        let off = SuppressOptions { tls: false, stack: false, locks: false, mutexinoutset: false };
+        let off = SuppressOptions {
+            tls: false,
+            stack: false,
+            locks: false,
+            mutexinoutset: false,
+            static_proof: false,
+        };
         let out = run(&g, &r, &off);
         assert_eq!(out.candidates.len(), 1, "naive mode reports the FP");
     }

@@ -96,6 +96,11 @@ pub struct Segment {
     /// Critical-section locks held throughout this segment.
     pub locks: Vec<u64>,
     pub region: Option<u32>,
+    /// AND-fold of the static guard masks of every access recorded into
+    /// this segment (see [`crate::analysis::SegView::guard_mask`]).
+    /// Starts at `!0`; a single access without a static proof zeroes
+    /// it.
+    pub guard_mask: u64,
 }
 
 impl Segment {
@@ -563,6 +568,7 @@ impl GraphBuilder {
             tls_gen: meta.tls_gen,
             locks,
             region: self.cur_region,
+            guard_mask: !0,
         });
         if task.is_some() {
             self.live_segments += 1;
@@ -641,6 +647,7 @@ impl GraphBuilder {
                     tls_gen: meta.tls_gen,
                     locks: Vec::new(),
                     region: None,
+                    guard_mask: !0,
                 });
                 id
             };
@@ -992,6 +999,7 @@ impl GraphBuilder {
                     .task
                     .map(|t| self.tasks[t as usize].mutex_objs.clone())
                     .unwrap_or_default(),
+                guard_mask: s.guard_mask,
                 trees: st.snapshots[&id].clone(),
             });
         }
@@ -1389,21 +1397,42 @@ impl GraphBuilder {
     }
 
     pub fn record_access(&mut self, meta: &ThreadMeta, addr: u64, size: u64, write: bool) {
+        self.record_access_masked(meta, addr, size, write, 0);
+    }
+
+    /// [`Self::record_access`] with a static guard mask attached: bit
+    /// *i* set means static analysis proved lock *i* of its lock
+    /// universe is held across this access. The mask is AND-folded into
+    /// the current segment's [`Segment::guard_mask`]; `0` (the plain
+    /// `record_access` default) marks the access — and therefore the
+    /// whole segment — unproven. Sound in bulk-ingestion mode too: the
+    /// buffer is flushed before every segment split, so buffered
+    /// accesses always land in the segment that was current here.
+    pub fn record_access_masked(
+        &mut self,
+        meta: &ThreadMeta,
+        addr: u64,
+        size: u64,
+        write: bool,
+        mask: u64,
+    ) {
         self.ensure_ctx(meta);
         let bulk = self.bulk;
         let c = self.ctx.get_mut(&meta.tid).unwrap().last_mut().unwrap();
+        let seg = c.cur_seg;
         if bulk {
             // hot path: append to the context's flat buffer; the
             // interval trees are built in bulk at segment close
             c.buf.push(addr, addr + size, write);
         } else {
-            let s = &mut self.segments[c.cur_seg as usize];
+            let s = &mut self.segments[seg as usize];
             if write {
                 s.writes.insert(addr, addr + size);
             } else {
                 s.reads.insert(addr, addr + size);
             }
         }
+        self.segments[seg as usize].guard_mask &= mask;
     }
 
     /// Resolve deferred edges and produce the final graph.

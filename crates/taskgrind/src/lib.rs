@@ -179,7 +179,11 @@ impl TaskgrindResult {
 pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> TaskgrindResult {
     let mut record = cfg.record.clone();
     if record.static_filter && record.static_facts.is_none() {
-        record.static_facts = Some(Arc::new(tga_analysis::analyze(module)));
+        // `concurrency` only adds lock findings and guard masks on top
+        // of the memory-classification facts — `safe_pcs` (and with it
+        // which accesses get recorded) is identical either way.
+        let opts = tga_analysis::AnalyzeOpts { concurrency: record.static_concurrency };
+        record.static_facts = Some(Arc::new(tga_analysis::analyze_with(module, &opts)));
     }
     let static_facts = record.static_facts.clone().filter(|_| record.static_filter);
     let tool = TaskgrindTool::new(record);

@@ -32,6 +32,7 @@ pub fn publish(r: &TaskgrindResult, reg: &mut Registry) {
     reg.set_u64("analysis.suppressed_mutex", r.analysis.suppressed_mutex);
     reg.set_u64("analysis.suppressed_tls", r.analysis.suppressed_tls);
     reg.set_u64("analysis.suppressed_stack", r.analysis.suppressed_stack);
+    reg.set_u64("analysis.suppressed_static", r.analysis.suppressed_static);
 
     reg.set_u64("stream.epochs", r.analysis_epochs);
     reg.set_u64("stream.retired_segments", r.retired_segments);
@@ -43,6 +44,10 @@ pub fn publish(r: &TaskgrindResult, reg: &mut Registry) {
     reg.set_u64("filter.sites_pruned", r.sites_pruned);
     reg.set_u64("filter.sites_instrumented", r.sites_instrumented);
     reg.set_u64("filter.accesses_recorded", r.accesses_recorded);
+    reg.set_u64(
+        "filter.guarded_sites",
+        r.static_facts.as_ref().map(|f| f.guarded.len() as u64).unwrap_or(0),
+    );
 
     r.run.metrics.publish(reg);
 }

@@ -76,6 +76,8 @@ pub struct EpochSeg {
     /// `mutex_objs` of the owning task (final by close time: dependences
     /// register before the task first runs).
     pub mutex_objs: Vec<u64>,
+    /// Segment guard mask (see [`SegView::guard_mask`]).
+    pub guard_mask: u64,
     pub trees: Arc<SegSnapshot>,
 }
 
@@ -95,6 +97,7 @@ impl EpochSeg {
             tls_gen: self.tls_gen,
             task: self.task,
             mutex_objs: &self.mutex_objs,
+            guard_mask: self.guard_mask,
         }
     }
 }

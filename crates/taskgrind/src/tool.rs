@@ -84,6 +84,14 @@ pub struct RecordOptions {
     /// instrumentation of accesses proven thread-private or read-only.
     /// `--no-static-filter` on the CLI turns this off.
     pub static_filter: bool,
+    /// Use the static concurrency pass: lock findings in `tgrind lint`
+    /// and statically-proven guard masks on recorded accesses (the
+    /// sweep's [`crate::analysis::Suppression::StaticProof`] layer).
+    /// `--no-static-concurrency` on the CLI turns this off. Independent
+    /// of `static_filter`, which gates only the memory-classification
+    /// pruning — so toggling this never changes which accesses are
+    /// recorded.
+    pub static_concurrency: bool,
     /// Precomputed static facts. When `None` and `static_filter` is on,
     /// [`crate::check_module`] runs the analysis itself.
     pub static_facts: Option<Arc<StaticFacts>>,
@@ -101,6 +109,7 @@ impl Default for RecordOptions {
             replace_allocator: true,
             replace_runtime_allocator: true,
             static_filter: true,
+            static_concurrency: true,
             static_facts: None,
             bulk_ingest: std::env::var_os("TG_NO_BULK").is_none(),
         }
@@ -261,12 +270,16 @@ impl Tool for TaskgrindTool {
         addr: u64,
         size: u64,
         write: bool,
-        _pc: u64,
+        pc: u64,
     ) {
         let meta = thread_meta(core, tid);
         let mut st = self.state.borrow_mut();
         st.accesses_recorded += 1;
-        st.builder.record_access(&meta, addr, size, write);
+        let mask = match (&st.opts.static_facts, st.opts.static_concurrency) {
+            (Some(f), true) => f.guard_mask(pc),
+            _ => 0,
+        };
+        st.builder.record_access_masked(&meta, addr, size, write, mask);
     }
 
     fn sync_point(&mut self, _core: &mut VmCore, _tid: Tid, kind: SyncKind, _seq: u64) {

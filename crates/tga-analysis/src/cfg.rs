@@ -17,7 +17,9 @@ use tga::{reg, Inst, Op, INST_SIZE};
 /// A recovered basic block. `end` is exclusive.
 #[derive(Clone, Debug)]
 pub struct Block {
+    /// First instruction address.
     pub start: u64,
+    /// One past the last instruction address.
     pub end: u64,
     /// Intra-procedural successors (fallthrough and branch targets).
     pub succs: Vec<u64>,
@@ -32,15 +34,18 @@ pub struct Block {
 /// One recovered function: a symbol plus its basic blocks.
 #[derive(Clone, Debug)]
 pub struct FuncCfg {
+    /// Symbol name.
     pub name: String,
     /// Instruction range `[lo, hi)` covered by the function.
     pub lo: u64,
+    /// Exclusive end of the function's instruction range.
     pub hi: u64,
     /// Blocks keyed by start address.
     pub blocks: BTreeMap<u64, Block>,
 }
 
 impl FuncCfg {
+    /// Does `addr` fall inside this function's instruction range?
     pub fn contains(&self, addr: u64) -> bool {
         addr >= self.lo && addr < self.hi
     }
@@ -49,17 +54,24 @@ impl FuncCfg {
 /// Aggregate counts printed by `lint`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CfgStats {
+    /// Recovered functions.
     pub functions: usize,
+    /// Total basic blocks.
     pub blocks: usize,
+    /// Intra-procedural successor edges.
     pub edges: usize,
+    /// Direct call edges.
     pub call_edges: usize,
+    /// Blocks ending in an unresolved indirect jump or call.
     pub indirect_exits: usize,
+    /// Functions unreachable from the entry point.
     pub unreachable_functions: usize,
 }
 
 /// The recovered whole-program CFG.
 #[derive(Clone, Debug)]
 pub struct Cfg {
+    /// Recovered functions, sorted by entry address.
     pub funcs: Vec<FuncCfg>,
     /// Functions whose address appears as a `li` immediate somewhere in
     /// the code (potential indirect-call targets).
@@ -67,6 +79,7 @@ pub struct Cfg {
     /// Indices into `funcs` not reachable from the entry point or any
     /// address-taken function.
     pub unreachable: Vec<usize>,
+    /// Aggregate counts for the lint report.
     pub stats: CfgStats,
 }
 

@@ -1,32 +1,59 @@
 //! Abstract interpretation of lifted superblocks: stack-slot escape
-//! analysis, stack-pointer delta checking, and read-only classification
-//! of globals.
+//! analysis, stack-pointer delta checking, and read-only / init-only
+//! classification of globals — interprocedural since the summary pass
+//! of [`crate::summaries`] landed.
 //!
 //! Every basic-block leader of every recovered function is lifted with
 //! `grindcore`'s superblock lifter and interpreted over a tiny abstract
 //! domain: a value is a known constant, a known offset from the
-//! block-entry `sp` or `fp`, or unknown. Because a leader is analysed
-//! with no knowledge of its callers or predecessors, any frame address
-//! that *leaves* the abstract state — stored outside a transient
-//! push/save slot, resident in a scratch register or an untracked stack
-//! slot at a block boundary, or passed to a syscall/client request —
-//! is treated as an escape of that slot. The resulting facts are a
-//! *meet* over every context containing an instruction: an access is
-//! only classified thread-private if every lifted context proves it so.
+//! block-entry `sp` or `fp`, one of the eight incoming argument
+//! registers (`AbsVal::Param` — function-entry contexts only), or
+//! unknown. Because a leader is analysed with no knowledge of its
+//! callers or predecessors, any frame address that *leaves* the
+//! abstract state — stored outside a transient push/save slot, resident
+//! in a scratch register or an untracked stack slot at a block
+//! boundary, or passed to a syscall/client request — is treated as an
+//! escape of that slot. The resulting facts are a *meet* over every
+//! context containing an instruction: an access is only classified
+//! thread-private if every lifted context proves it so.
+//!
+//! Calls are no longer black holes. Functions are processed bottom-up
+//! over the call-graph SCC condensation; at a direct call site the
+//! callee's [`FnSummary`] decides which argument registers actually
+//! capture the pointers they hold. A callee that merely *dereferences*
+//! a pointer argument keeps the pointee's classification: the callee
+//! runs on the caller's thread, so its accesses (recorded under
+//! `AccessKind::Unknown`) are same-thread and the dynamic stack/TLS
+//! suppressions of Algorithm 1 cover them. Only a callee that stores
+//! the pointer, passes it onward to something untracked, or hands it to
+//! a syscall/client request (task payloads!) forces the escape.
+//!
+//! On top of read-only globals, the pass classifies **init-only**
+//! globals: symbols whose every (direct or summarized) write happens in
+//! a basic block that provably runs before the program's first
+//! `THREAD_CREATE` syscall ([`crate::summaries::spawn_reachability`]),
+//! and whose address never escapes. All their writes are mutually
+//! ordered on the initial thread and happen-before every spawn, so no
+//! access to them can ever race and recording is skipped. This is the
+//! classification that finally prunes the per-iteration reloads of
+//! LULESH's global array pointers.
 //!
 //! Soundness rests on the target's codegen discipline (which minicc and
 //! the guest runtime follow): `sp`-based stores are only operand-stack
 //! pushes and prologue link saves, locals are addressed `fp`-relative,
 //! and stack addresses are never laundered through arithmetic the
-//! domain cannot follow (any such arithmetic poisons the whole frame).
-//! Like the dynamic stack suppression of §IV-D, the classification
-//! assumes no cross-thread use-after-return of stack addresses.
+//! domain cannot follow (any such arithmetic poisons the whole frame;
+//! a *global* address laundered the same way marks the symbol
+//! address-escaped). Like the dynamic stack suppression of §IV-D, the
+//! classification assumes no cross-thread use-after-return of stack
+//! addresses.
 
 use crate::cfg::Cfg;
+use crate::summaries::{self, FnSummary, Summaries};
 use grindcore::lift::{lift_superblock, MAX_BLOCK_INSTS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use tga::module::{Module, SymKind};
-use tga::{reg, NUM_REGS};
+use tga::{reg, INST_SIZE, NUM_REGS};
 use vex_ir::{Atom, BinOp, IrBlock, JumpKind, Rhs, Stmt, UnOp};
 
 /// Which stack anchor an abstract offset is relative to.
@@ -50,10 +77,15 @@ enum AbsVal {
         off: i64,
         via_sp: bool,
     },
+    /// The value of argument register `a{i}` at function entry (or a
+    /// constant offset from it — for escape purposes a derived pointer
+    /// captures the same object). Lives only in contexts seeded at a
+    /// function entry and in trusted spill-slot reloads.
+    Param(u8),
     Other,
 }
 
-use AbsVal::{Const, Other, Stack};
+use AbsVal::{Const, Other, Param, Stack};
 
 /// Per-function dataflow verdicts.
 #[derive(Clone, Debug, Default)]
@@ -66,15 +98,18 @@ pub struct FnFacts {
     /// One representative escape site per offset: `(offset, pc)`.
     pub escape_sites: Vec<(i64, u64)>,
     /// Return sites whose reconstructed `sp` does not restore the
-    /// caller's stack pointer: `(pc, description)`.
+    /// caller's stack pointer.
     pub ret_mismatches: Vec<u64>,
 }
 
-/// A read-only classified global.
+/// A classified global range (read-only or init-only).
 #[derive(Clone, Debug)]
 pub struct RoRange {
+    /// Symbol name.
     pub name: String,
+    /// Inclusive start address.
     pub lo: u64,
+    /// Exclusive end address.
     pub hi: u64,
 }
 
@@ -106,19 +141,38 @@ pub struct Dataflow {
     pub fn_facts: Vec<FnFacts>,
     /// Globals never written and never address-taken.
     pub ro: Vec<RoRange>,
-    /// Guest pcs of loads/stores proven thread-private or read-only in
-    /// every context that contains them.
+    /// Globals whose writes all happen before the first thread spawn
+    /// and whose address never escapes (see module docs).
+    pub init_only: Vec<RoRange>,
+    /// Guest pcs of loads/stores proven thread-private, read-only or
+    /// init-only in every context that contains them.
     pub safe_pcs: BTreeSet<u64>,
     /// Stores with a constant target inside the text section.
     pub code_writes: Vec<(u64, u64)>,
     /// Total distinct access pcs seen by the analysis.
     pub access_pcs: usize,
+    /// Every distinct access pc (the keys behind `access_pcs`).
+    pub all_access_pcs: Vec<u64>,
+    /// Abstract first-argument value per direct call site: `Some(c)`
+    /// when `a0` is the same known constant in every lifted context
+    /// containing the call, `None` otherwise. Consumed by the lockset
+    /// pass to resolve lock identities.
+    pub call_args: BTreeMap<u64, Option<u64>>,
+    /// Per-function effect summaries (kept for diagnostics and tests).
+    pub summaries: Summaries,
 }
 
 struct DataSym {
     name: String,
     lo: u64,
     hi: u64,
+}
+
+/// Merged abstract `a0` at a call site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CallArg {
+    Known(u64),
+    Many,
 }
 
 /// Global (module-level) accumulators shared across contexts.
@@ -128,12 +182,19 @@ struct GlobalAcc {
     written: BTreeSet<usize>,
     /// Indices whose address was stored, passed, or live at a boundary.
     addr_escaped: BTreeSet<usize>,
+    /// `(data_sym index, pc)` of every known write, for the init-only
+    /// pre-spawn check.
+    write_sites: Vec<(usize, u64)>,
     code_writes: Vec<(u64, u64)>,
     records: Vec<AccessRec>,
+    call_args: BTreeMap<u64, CallArg>,
     data_lo: u64,
     data_hi: u64,
     code_lo: u64,
     code_hi: u64,
+    /// Probe (phase-1) interpretation: suppress all module-level
+    /// accumulation, which the conservative pre-pass would pollute.
+    muted: bool,
 }
 
 impl GlobalAcc {
@@ -142,9 +203,48 @@ impl GlobalAcc {
     }
 
     fn addr_escape(&mut self, addr: u64) {
+        if self.muted {
+            return;
+        }
         if let Some(i) = self.sym_of(addr) {
             self.addr_escaped.insert(i);
         }
+    }
+
+    /// A write of global memory at `addr` performed at `pc` (directly,
+    /// atomically, or through a summarized callee).
+    fn write_global(&mut self, addr: u64, pc: u64) {
+        if self.muted {
+            return;
+        }
+        if let Some(i) = self.sym_of(addr) {
+            self.written.insert(i);
+            self.write_sites.push((i, pc));
+        }
+    }
+
+    fn code_write(&mut self, pc: u64, target: u64) {
+        if !self.muted {
+            self.code_writes.push((pc, target));
+        }
+    }
+
+    fn note_call_arg(&mut self, pc: u64, a0: AbsVal) {
+        if self.muted {
+            return;
+        }
+        let merged = match a0 {
+            Const(c) => CallArg::Known(c),
+            _ => CallArg::Many,
+        };
+        self.call_args
+            .entry(pc)
+            .and_modify(|e| {
+                if *e != merged {
+                    *e = CallArg::Many;
+                }
+            })
+            .or_insert(merged);
     }
 
     fn in_data(&self, addr: u64) -> bool {
@@ -161,11 +261,16 @@ struct BlockState {
 }
 
 impl BlockState {
-    fn new(n_temps: u32) -> BlockState {
+    fn new(n_temps: u32, seed_params: bool) -> BlockState {
         let mut regs = [Other; NUM_REGS];
         regs[reg::ZERO as usize] = Const(0);
         regs[reg::SP as usize] = Stack { base: BaseReg::Sp, off: 0, via_sp: false };
         regs[reg::FP as usize] = Stack { base: BaseReg::Fp, off: 0, via_sp: false };
+        if seed_params {
+            for i in 0..8u8 {
+                regs[(reg::A0 + i) as usize] = Param(i);
+            }
+        }
         BlockState { tmps: vec![Other; n_temps as usize], regs, mem: HashMap::new() }
     }
 
@@ -190,7 +295,25 @@ impl BlockState {
     }
 }
 
+/// Phase-1 (probe) collection: parameter spill slots and how often each
+/// canonical frame slot is stored, keyed by distinct store pc so
+/// overlapping lifted contexts do not double-count.
+#[derive(Default)]
+struct Probe {
+    /// Distinct non-transient store pcs per canonical offset.
+    counts: BTreeMap<i64, BTreeSet<u64>>,
+    /// Param index → (canonical offset, pc) of its prologue spill.
+    spill: BTreeMap<u8, (i64, u64)>,
+    /// A store the probe could not attribute to a canonical slot
+    /// (wild `sp`-laundered target, stack atomic): trust nothing.
+    wild: bool,
+}
+
 /// Interpreter for one lifted context of one function.
+/// Live tracked slots carried across a direct call, keyed by the
+/// continuation leader and re-based to its coordinates.
+type BridgeMap = BTreeMap<u64, Vec<((BaseReg, i64), AbsVal)>>;
+
 struct Interp<'a> {
     st: BlockState,
     facts: &'a mut FnFacts,
@@ -199,7 +322,39 @@ struct Interp<'a> {
     /// Function range, for recognising tail transfers out of it.
     flo: u64,
     fhi: u64,
+    /// End of the function's entry basic block: spill-slot candidates
+    /// are only accepted below it (the entry block dominates the whole
+    /// function, so a trusted reload is always preceded by its spill).
+    entry_block_end: u64,
     cur_pc: u64,
+    /// Callee summaries (bottom-up: everything below this function's
+    /// SCC is final; same-SCC entries read as widened).
+    summaries: &'a Summaries,
+    /// The summary being accumulated for this function.
+    summary: &'a mut FnSummary,
+    /// Canonical offset → param index of slots whose reloads may be
+    /// trusted to still hold the spilled argument register.
+    trusted: &'a BTreeMap<i64, u8>,
+    /// Present in phase 1 only.
+    probe: Option<&'a mut Probe>,
+    /// Call-bridging gate: `Some(escaped)` in phase 2 when the probe
+    /// pass finished unpoisoned, so its frame-escape set is complete.
+    /// Slots in the set are never carried across a call.
+    bridge_escapes: Option<&'a BTreeSet<i64>>,
+    /// Leaders with exactly one intra-procedural predecessor edge —
+    /// the only continuations a call may seed.
+    single_pred: &'a BTreeSet<u64>,
+    /// Live tracked slots carried across a direct call, keyed by the
+    /// continuation leader and re-based to its coordinates.
+    bridge_out: &'a mut BridgeMap,
+    /// The function's basic blocks, for recognising whether a capped
+    /// lift's continuation is a real leader or plain straight-line code.
+    fblocks: &'a BTreeMap<u64, crate::cfg::Block>,
+    /// Set when the lifter's instruction cap split a straight-line run:
+    /// the caller must continue interpreting at this pc with the whole
+    /// state carried over (same runtime path, no other context covers
+    /// it).
+    chain_to: Option<u64>,
 }
 
 impl Interp<'_> {
@@ -216,6 +371,12 @@ impl Interp<'_> {
         }
     }
 
+    /// A parameter pointer flowed somewhere untracked: assume it is
+    /// captured, read and written.
+    fn taint_param(&mut self, i: u8) {
+        self.summary.taint(i, true, true, true);
+    }
+
     /// Apply the boundary rules for a value that flows out of the block
     /// (register or tracked slot at a block exit, dirty-call argument,
     /// store payload).
@@ -223,24 +384,180 @@ impl Interp<'_> {
         match v {
             Stack { base, off, .. } => self.escape_stack(base, off),
             Const(c) if self.glob.in_data(c) => self.glob.addr_escape(c),
+            Param(i) => self.taint_param(i),
             _ => {}
+        }
+    }
+
+    /// A constant that might be a data address was consumed by
+    /// arithmetic the domain cannot invert: the symbol's address is
+    /// loose from here on (the result may be dereferenced as `Other`).
+    fn launder_const(&mut self, v: AbsVal) {
+        if let Const(c) = v {
+            if self.glob.in_data(c) {
+                self.glob.addr_escape(c);
+            }
         }
     }
 
     /// Addresses resident in tracked stack slots when control may leave
     /// the block escape: the continuation is analysed from scratch and
     /// would reload them as unknown values, so a later copy-out could
-    /// not be seen.
+    /// not be seen. Two exemptions keep this precise:
+    ///
+    /// * A `Param` resting in its own trusted (or candidate) spill slot
+    ///   — the continuation reloads it as the same `Param`.
+    /// * Slots **below the current stack pointer** — popped operand-
+    ///   stack pushes. The codegen discipline (see the module docs)
+    ///   never reloads memory below `sp`, so a dead push slot's residue
+    ///   is unreachable and need not escape.
     fn flush_mem(&mut self) {
-        let residues: Vec<AbsVal> = self.st.mem.values().copied().collect();
-        for v in residues {
+        let sp_now = match self.st.regs[reg::SP as usize] {
+            Stack { base, off, .. } => Some((base, off)),
+            _ => None,
+        };
+        let entries: Vec<((BaseReg, i64), AbsVal)> =
+            self.st.mem.iter().map(|(k, v)| (*k, *v)).collect();
+        for ((base, off), v) in entries {
+            if let Some((sb, so)) = sp_now {
+                if base == sb && off < so {
+                    continue; // dead: below the live stack pointer
+                }
+            }
+            if let Param(i) = v {
+                let canon = self.st.canonical(base, off);
+                let home = match &self.probe {
+                    Some(p) => p.spill.get(&i).map(|&(o, _)| o),
+                    None => self.trusted.iter().find(|&(_, &pi)| pi == i).map(|(&o, _)| o),
+                };
+                if canon.is_some() && canon == home {
+                    continue;
+                }
+            }
+            self.escape_value(v);
+        }
+    }
+
+    /// A store through an unknown pointer (or an atomic with an unknown
+    /// address) may overwrite any tracked slot. The residues must
+    /// escape *before* the slots are forgotten: a silently dropped live
+    /// value could be reloaded as `Other` and copied out unseen.
+    fn clobber_mem(&mut self) {
+        self.flush_mem();
+        self.st.mem.clear();
+    }
+
+    /// Carry live tracked slots across a direct call into its
+    /// continuation superblock instead of escaping their residues.
+    ///
+    /// The assignment codegen pushes the destination address before
+    /// evaluating the rhs, so a call in the rhs (`p = malloc(..)`,
+    /// `n = atoi(..)`) would otherwise address-escape the destination
+    /// global — or frame slot — at every such site. Bridging a slot is
+    /// sound exactly when the callee cannot hold a pointer to it:
+    ///
+    /// * its address never escapes the frame (per the probe pass,
+    ///   whose escape set is complete because it finished unpoisoned),
+    /// * no frame address with callee write or escape effects is
+    ///   passed as an argument (an argument pointer admits writes at
+    ///   arbitrary offsets from it, memset-style), and
+    /// * the continuation has the call as its only predecessor, so
+    ///   the seeded state cannot describe any other path.
+    ///
+    /// Everything not bridged stays in `mem` for the ordinary
+    /// `flush_mem` escape that follows.
+    fn bridge_call(&mut self, target: u64) {
+        let Some(escaped) = self.bridge_escapes else { return };
+        let cont = self.cur_pc + INST_SIZE;
+        if cont <= self.flo || cont >= self.fhi || !self.single_pred.contains(&cont) {
+            return;
+        }
+        let s = self.summaries.for_target(target);
+        for i in 0..8u8 {
+            let bit = 1u8 << i;
+            if matches!(self.st.regs[(reg::A0 + i) as usize], Stack { .. })
+                && (s.escapes & bit != 0 || s.writes & bit != 0)
+            {
+                return; // callee may write through a frame pointer
+            }
+        }
+        let fp_now = self.st.regs[reg::FP as usize];
+        let sp_now = self.st.regs[reg::SP as usize];
+        let rebase = |base: BaseReg, off: i64| -> Option<(BaseReg, i64)> {
+            if let Stack { base: fb, off: fo, .. } = fp_now {
+                if base == fb {
+                    return Some((BaseReg::Fp, off - fo));
+                }
+            }
+            if let Stack { base: sb, off: so, .. } = sp_now {
+                if base == sb {
+                    return Some((BaseReg::Sp, off - so));
+                }
+            }
+            None
+        };
+        let entries: Vec<((BaseReg, i64), AbsVal)> =
+            self.st.mem.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut bridged: Vec<((BaseReg, i64), AbsVal)> = Vec::new();
+        for ((base, off), v) in entries {
+            if let Stack { base: sb, off: so, .. } = sp_now {
+                if base == sb && off < so {
+                    continue; // dead push slot: unreachable either way
+                }
+            }
+            // The probe's escape set names canonical (fp-relative)
+            // slots in the frame's reserved area. A slot that cannot be
+            // canonicalized here is `sp`-anchored in a non-entry
+            // context, i.e. an operand push/save slot below that area:
+            // the codegen discipline only ever materialises such an
+            // address as a transient `sp` read, so no escaped pointer
+            // can reach it and it may always be carried.
+            if let Some(c) = self.st.canonical(base, off) {
+                if escaped.contains(&c) {
+                    continue; // leave for flush_mem
+                }
+            }
+            let Some(key) = rebase(base, off) else { continue };
+            let nv = match v {
+                Const(_) => v,
+                Stack { base: vb, off: vo, .. } => match rebase(vb, vo) {
+                    // Re-based values are no longer direct `sp` reads.
+                    Some((nb, no)) => Stack { base: nb, off: no, via_sp: false },
+                    None => continue,
+                },
+                Param(_) | Other => continue, // home-slot logic / no info
+            };
+            self.st.mem.remove(&(base, off));
+            bridged.push((key, nv));
+        }
+        if bridged.is_empty() {
+            return;
+        }
+        let mut conflicts: Vec<AbsVal> = Vec::new();
+        {
+            let slot = self.bridge_out.entry(cont).or_default();
+            for (k, v) in bridged {
+                match slot.iter().position(|(k2, _)| *k2 == k) {
+                    Some(i) if slot[i].1 == v => {}
+                    Some(i) => {
+                        // Two contexts over the same call disagree:
+                        // neither value may seed the continuation.
+                        let (_, old) = slot.remove(i);
+                        conflicts.push(old);
+                        conflicts.push(v);
+                    }
+                    None => slot.push((k, v)),
+                }
+            }
+        }
+        for v in conflicts {
             self.escape_value(v);
         }
     }
 
     /// Escape addresses in a register range (calling-convention rules:
-    /// a callee observes `a0..a7`, a caller observes `a0`, and a
-    /// cap-split or indirect continuation observes everything).
+    /// a caller observes `a0`, and a cap-split or indirect continuation
+    /// observes everything).
     fn flush_regs(&mut self, lo: u8, hi: u8) {
         for r in lo..=hi {
             if r == reg::SP || r == reg::FP {
@@ -250,7 +567,56 @@ impl Interp<'_> {
         }
     }
 
+    /// Apply calling-convention effects of a direct call or tail
+    /// transfer to `target`, consulting the callee's summary instead of
+    /// unconditionally escaping every argument register.
+    fn call_transfer(&mut self, target: Option<u64>) {
+        self.glob.note_call_arg(self.cur_pc, self.st.regs[reg::A0 as usize]);
+        let Some(t) = target else {
+            self.flush_regs(reg::A0, reg::A7);
+            return;
+        };
+        let s = self.summaries.for_target(t);
+        for i in 0..8u8 {
+            let bit = 1u8 << i;
+            let (esc, wr, rd) = (s.escapes & bit != 0, s.writes & bit != 0, s.reads & bit != 0);
+            match self.st.regs[(reg::A0 + i) as usize] {
+                Stack { base, off, .. } => {
+                    if esc {
+                        self.escape_stack(base, off);
+                    } else if wr {
+                        // A same-thread write through the slot's address:
+                        // counts against spill-slot trust, not escape.
+                        if let (Some(p), Some(c)) =
+                            (self.probe.as_deref_mut(), self.st.canonical(base, off))
+                        {
+                            p.counts.entry(c).or_default().insert(self.cur_pc);
+                        }
+                    }
+                }
+                Const(c) if self.glob.in_data(c) => {
+                    if esc {
+                        self.glob.addr_escape(c);
+                    } else if wr {
+                        self.glob.write_global(c, self.cur_pc);
+                    }
+                }
+                Param(j) => {
+                    if esc {
+                        self.taint_param(j);
+                    } else {
+                        self.summary.taint(j, false, wr, rd);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     fn record(&mut self, kind: AccessKind) {
+        if self.glob.muted {
+            return;
+        }
         self.glob.records.push(AccessRec { pc: self.cur_pc, func: self.func, kind });
     }
 
@@ -261,7 +627,7 @@ impl Interp<'_> {
                 None => AccessKind::StackAnon,
             },
             Const(addr) => AccessKind::ConstAddr { addr, size, write },
-            Other => AccessKind::Unknown,
+            Param(_) | Other => AccessKind::Unknown,
         }
     }
 
@@ -279,14 +645,32 @@ impl Interp<'_> {
             (Sub, Stack { base: b1, off: o1, .. }, Stack { base: b2, off: o2, .. }) if b1 == b2 => {
                 Const(o1.wrapping_sub(o2) as u64)
             }
+            // A derived pointer into the same argument still captures
+            // the same object.
+            (Add | Sub, Param(i), Const(_)) | (Add, Const(_), Param(i)) => Param(i),
             (CmpEq | CmpNe | CmpLtS | CmpLeS | CmpLtU, _, _) => Other,
             (_, Stack { .. }, _) | (_, _, Stack { .. }) => {
                 // Frame address flowing through arithmetic the domain
-                // cannot invert: give up on the whole frame.
+                // cannot invert: give up on the whole frame. A data
+                // address on the other side is laundered with it.
                 self.facts.poisoned = true;
+                self.launder_const(l);
+                self.launder_const(r);
                 Other
             }
-            _ => Other,
+            _ => {
+                // Untracked result: any data address or parameter
+                // pointer consumed here is loose.
+                self.launder_const(l);
+                self.launder_const(r);
+                if let Param(i) = l {
+                    self.taint_param(i);
+                }
+                if let Param(i) = r {
+                    self.taint_param(i);
+                }
+                Other
+            }
         }
     }
 
@@ -298,7 +682,34 @@ impl Interp<'_> {
                 self.facts.poisoned = true;
                 Other
             }
+            (_, Param(i)) => {
+                self.taint_param(i);
+                Other
+            }
             _ => Other,
+        }
+    }
+
+    /// Count a store to a canonical frame slot for spill-slot trust
+    /// (phase 1), and register a prologue param spill candidate.
+    fn probe_stack_store(&mut self, base: BaseReg, off: i64, via_sp: bool, val: AbsVal) {
+        let canon = self.st.canonical(base, off);
+        let pc = self.cur_pc;
+        let in_entry_block = pc < self.entry_block_end;
+        let Some(p) = self.probe.as_deref_mut() else { return };
+        if via_sp {
+            return; // transient pushes/link saves follow the sp discipline
+        }
+        match canon {
+            Some(c) => {
+                p.counts.entry(c).or_default().insert(pc);
+                if in_entry_block {
+                    if let Param(i) = val {
+                        p.spill.entry(i).or_insert((c, pc));
+                    }
+                }
+            }
+            None => p.wild = true,
         }
     }
 
@@ -325,9 +736,24 @@ impl Interp<'_> {
                             let a = self.st.atom(addr);
                             let kind = self.classify_addr(a, ty.size(), false);
                             self.record(kind);
+                            if let Param(i) = a {
+                                self.summary.taint(i, false, false, true);
+                            }
                             match a {
                                 Stack { base, off, .. } => {
-                                    self.st.mem.get(&(base, off)).copied().unwrap_or(Other)
+                                    match self.st.mem.get(&(base, off)) {
+                                        Some(v) => *v,
+                                        // A reload from a trusted spill
+                                        // slot still holds the argument.
+                                        None => match self
+                                            .st
+                                            .canonical(base, off)
+                                            .and_then(|c| self.trusted.get(&c))
+                                        {
+                                            Some(&i) => Param(i),
+                                            None => Other,
+                                        },
+                                    }
                                 }
                                 _ => Other,
                             }
@@ -348,6 +774,14 @@ impl Interp<'_> {
                                 if matches!(t, Stack { .. }) || matches!(e, Stack { .. }) {
                                     self.facts.poisoned = true;
                                 }
+                                self.launder_const(t);
+                                self.launder_const(e);
+                                if let Param(i) = t {
+                                    self.taint_param(i);
+                                }
+                                if let Param(i) = e {
+                                    self.taint_param(i);
+                                }
                                 Other
                             }
                         }
@@ -364,24 +798,23 @@ impl Interp<'_> {
                     let v = self.st.atom(val);
                     let kind = self.classify_addr(a, ty.size(), true);
                     self.record(kind);
-                    // A global's address stored anywhere (even pushed)
-                    // may be loaded back in a context that cannot track
-                    // it: the symbol can no longer be called read-only.
-                    if let Const(c) = v {
-                        if self.glob.in_data(c) {
-                            self.glob.addr_escape(c);
-                        }
-                    }
                     match a {
                         Stack { base, off, via_sp } => {
-                            // A frame address stored into anything but a
-                            // transient push/save slot may be reloaded
-                            // later as an untracked value and copied
-                            // out: that is an escape of the payload.
+                            self.probe_stack_store(base, off, via_sp, v);
+                            // A frame or global address stored into
+                            // anything but a transient push/save slot may
+                            // be reloaded later as an untracked value and
+                            // copied out: that is an escape of the
+                            // payload. A push slot is tracked in `mem`
+                            // and its residue escapes at `flush_mem` if
+                            // still live, so the assignment codegen's
+                            // address push (`&g` pushed while the rhs is
+                            // evaluated) does not by itself escape `g`.
                             if !via_sp {
                                 if let Stack { base: pb, off: po, .. } = v {
                                     self.escape_stack(pb, po);
                                 }
+                                self.launder_const(v);
                             }
                             self.st.mem.insert((base, off), v);
                         }
@@ -389,35 +822,78 @@ impl Interp<'_> {
                             if let Stack { base: pb, off: po, .. } = v {
                                 self.escape_stack(pb, po);
                             }
+                            if let Param(i) = v {
+                                self.taint_param(i);
+                            }
+                            self.launder_const(v);
                             if c >= self.glob.code_lo && c < self.glob.code_hi {
-                                self.glob.code_writes.push((self.cur_pc, c));
+                                self.glob.code_write(self.cur_pc, c);
                             }
-                            if let Some(i) = self.glob.sym_of(c) {
-                                self.glob.written.insert(i);
+                            self.glob.write_global(c, self.cur_pc);
+                            // A constant data/code address cannot alias
+                            // the guest stack: tracked slots survive.
+                        }
+                        Param(i) => {
+                            // Store through an argument pointer: a write
+                            // effect on the pointee; the payload leaves
+                            // the trackable world. Arguments are formed
+                            // before this activation's frame exists, so
+                            // they cannot alias tracked slots.
+                            self.summary.taint(i, false, true, false);
+                            if let Stack { base: pb, off: po, .. } = v {
+                                self.escape_stack(pb, po);
                             }
-                            self.st.mem.clear();
+                            if let Param(j) = v {
+                                self.taint_param(j);
+                            }
+                            self.launder_const(v);
                         }
                         Other => {
                             if let Stack { base: pb, off: po, .. } = v {
                                 self.escape_stack(pb, po);
                             }
-                            // Unknown target may alias any tracked slot.
-                            self.st.mem.clear();
+                            if let Param(j) = v {
+                                self.taint_param(j);
+                            }
+                            self.launder_const(v);
+                            // Unknown target may alias any tracked slot:
+                            // escape live residues, then forget them.
+                            self.clobber_mem();
                         }
                     }
                 }
                 Stmt::Cas { addr, expected, new, .. } => {
-                    let _ = self.st.atom(addr);
+                    let a = self.st.atom(addr);
                     self.record(AccessKind::Unknown); // atomics stay instrumented
+                    match a {
+                        Const(c) => self.glob.write_global(c, self.cur_pc),
+                        Param(i) => self.summary.taint(i, false, true, true),
+                        Stack { .. } => {
+                            if let Some(p) = self.probe.as_deref_mut() {
+                                p.wild = true;
+                            }
+                        }
+                        Other => {}
+                    }
                     self.escape_value(self.st.atom(expected));
                     self.escape_value(self.st.atom(new));
-                    self.st.mem.clear();
+                    self.clobber_mem();
                 }
                 Stmt::AtomicAdd { addr, val, .. } => {
-                    let _ = self.st.atom(addr);
+                    let a = self.st.atom(addr);
                     self.record(AccessKind::Unknown);
+                    match a {
+                        Const(c) => self.glob.write_global(c, self.cur_pc),
+                        Param(i) => self.summary.taint(i, false, true, true),
+                        Stack { .. } => {
+                            if let Some(p) = self.probe.as_deref_mut() {
+                                p.wild = true;
+                            }
+                        }
+                        Other => {}
+                    }
                     self.escape_value(self.st.atom(val));
-                    self.st.mem.clear();
+                    self.clobber_mem();
                 }
                 Stmt::Dirty { args, dst, .. } => {
                     let vals: Vec<AbsVal> = args.iter().map(|a| self.st.atom(a)).collect();
@@ -439,14 +915,41 @@ impl Interp<'_> {
                 }
             }
         }
+        // A lifter cap in the middle of a straight-line run (the
+        // continuation is not a leader, so no branch can reach it and
+        // no other context interprets it) is not a control transfer at
+        // all: carry the whole state instead of flushing anything.
+        if let (JumpKind::Boring, Atom::Const(t)) = (block.jumpkind, block.next) {
+            if t >= self.flo
+                && t < self.fhi
+                && block.guest_instrs() >= MAX_BLOCK_INSTS
+                && !self.fblocks.contains_key(&t)
+            {
+                self.chain_to = Some(t);
+                return;
+            }
+        }
+        // A direct call may hand live tracked slots to its continuation
+        // before the remainder escapes.
+        if let JumpKind::Call { .. } = block.jumpkind {
+            if let Atom::Const(t) = block.next {
+                self.bridge_call(t);
+            }
+        }
         self.flush_mem();
         match block.jumpkind {
             JumpKind::Call { .. } => {
-                // The callee observes the argument registers.
-                self.flush_regs(reg::A0, reg::A7);
+                // The callee observes the argument registers — exactly
+                // as far as its summary admits.
+                let target = match block.next {
+                    Atom::Const(t) => Some(t),
+                    Atom::Tmp(_) => None,
+                };
+                self.call_transfer(target);
             }
             JumpKind::Ret => {
-                // The caller observes the return value.
+                // The caller observes the return value (returning a
+                // parameter pointer hands it back untracked: escape).
                 self.flush_regs(reg::A0, reg::A0);
                 // A return must restore the caller's stack pointer:
                 // either the block-entry `sp` (whole-function context)
@@ -477,10 +980,10 @@ impl Interp<'_> {
                         self.escape_value(self.st.regs[reg::T0 as usize]);
                     }
                 }
-                Atom::Const(_) => {
+                Atom::Const(t) => {
                     // Tail transfer into another function: treat its
                     // register visibility like a call.
-                    self.flush_regs(reg::A0, reg::A7);
+                    self.call_transfer(Some(t));
                 }
                 Atom::Tmp(_) => {
                     // Indirect jump: the continuation is unknown.
@@ -528,37 +1031,171 @@ fn data_symbols(module: &Module) -> Vec<DataSym> {
         .collect()
 }
 
-/// Run the dataflow passes over every lifted context of every function.
+/// Interpret every superblock of one function in one configuration.
+#[allow(clippy::too_many_arguments)]
+fn interp_function(
+    module: &Module,
+    cfg: &Cfg,
+    fi: usize,
+    glob: &mut GlobalAcc,
+    facts: &mut FnFacts,
+    summaries: &Summaries,
+    summary: &mut FnSummary,
+    trusted: &BTreeMap<i64, u8>,
+    mut probe: Option<&mut Probe>,
+    bridge_escapes: Option<&BTreeSet<i64>>,
+) -> bool {
+    let f = &cfg.funcs[fi];
+    let entry_block_end = f.blocks.get(&f.lo).map(|b| b.end).unwrap_or(f.lo);
+    // Leaders with exactly one predecessor edge: the only ones a call
+    // may seed with bridged slots.
+    let mut preds: BTreeMap<u64, u32> = BTreeMap::new();
+    for b in f.blocks.values() {
+        for &s in &b.succs {
+            *preds.entry(s).or_insert(0) += 1;
+        }
+    }
+    let single_pred: BTreeSet<u64> =
+        preds.iter().filter(|&(_, &n)| n == 1).map(|(&s, _)| s).collect();
+    let mut bridge: BridgeMap = BTreeMap::new();
+    let mut all_lifted = true;
+    for &leader in f.blocks.keys() {
+        // One context per leader — continued across lifter caps that
+        // split a straight-line run (`chain_to`), carrying registers
+        // and tracked slots; only the per-block temporaries reset.
+        let mut at = leader;
+        let mut carry: Option<BlockState> = None;
+        loop {
+            let Ok(block) = lift_superblock(module, at) else {
+                facts.poisoned = true;
+                all_lifted = false;
+                break;
+            };
+            let mut st = match carry.take() {
+                Some(prev) => BlockState {
+                    tmps: vec![Other; block.n_temps as usize],
+                    regs: prev.regs,
+                    mem: prev.mem,
+                },
+                None => BlockState::new(block.n_temps, leader == f.lo),
+            };
+            if at == leader {
+                if let Some(entries) = bridge.get(&leader) {
+                    for &(k, v) in entries {
+                        st.mem.insert(k, v);
+                    }
+                }
+            }
+            let mut interp = Interp {
+                st,
+                facts,
+                glob,
+                func: fi,
+                flo: f.lo,
+                fhi: f.hi,
+                entry_block_end,
+                cur_pc: at,
+                summaries,
+                summary,
+                trusted,
+                probe: probe.as_deref_mut(),
+                bridge_escapes,
+                single_pred: &single_pred,
+                bridge_out: &mut bridge,
+                fblocks: &f.blocks,
+                chain_to: None,
+            };
+            interp.run(&block);
+            match interp.chain_to {
+                Some(next) => {
+                    carry = Some(interp.st);
+                    at = next;
+                }
+                None => break,
+            }
+        }
+    }
+    all_lifted
+}
+
+/// Run the dataflow passes over every lifted context of every function,
+/// bottom-up over the call graph.
 pub fn run(module: &Module, cfg: &Cfg) -> Dataflow {
     let mut glob = GlobalAcc {
         data_syms: data_symbols(module),
         written: BTreeSet::new(),
         addr_escaped: BTreeSet::new(),
+        write_sites: Vec::new(),
         code_writes: Vec::new(),
         records: Vec::new(),
+        call_args: BTreeMap::new(),
         data_lo: module.data_base,
         data_hi: module.data_end(),
         code_lo: module.code_base,
         code_hi: module.code_end(),
+        muted: false,
     };
     let mut fn_facts: Vec<FnFacts> = vec![FnFacts::default(); cfg.funcs.len()];
+    let cg = summaries::call_graph(cfg);
+    let spawn = summaries::spawn_reachability(module, cfg, &cg);
+    let mut sums = Summaries::new(cfg);
+    let no_trust: BTreeMap<i64, u8> = BTreeMap::new();
 
-    for (fi, f) in cfg.funcs.iter().enumerate() {
-        for &leader in f.blocks.keys() {
-            let Ok(block) = lift_superblock(module, leader) else {
-                fn_facts[fi].poisoned = true;
-                continue;
-            };
-            let mut interp = Interp {
-                st: BlockState::new(block.n_temps),
-                facts: &mut fn_facts[fi],
-                glob: &mut glob,
-                func: fi,
-                flo: f.lo,
-                fhi: f.hi,
-                cur_pc: leader,
-            };
-            interp.run(&block);
+    for scc in &cg.sccs {
+        for &fi in scc {
+            let f = &cfg.funcs[fi];
+            // Phase 1 (muted probe): conservative local facts that gate
+            // which prologue spill slots may be trusted in phase 2.
+            glob.muted = true;
+            let mut probe = Probe::default();
+            let mut ph1 = FnFacts::default();
+            let mut scratch = FnSummary::default();
+            interp_function(
+                module,
+                cfg,
+                fi,
+                &mut glob,
+                &mut ph1,
+                &sums,
+                &mut scratch,
+                &no_trust,
+                Some(&mut probe),
+                None,
+            );
+            let entry_is_loop_target = f.blocks.values().any(|b| b.succs.contains(&f.lo));
+            let mut trusted: BTreeMap<i64, u8> = BTreeMap::new();
+            if !probe.wild && !ph1.poisoned && !entry_is_loop_target {
+                for (&i, &(off, _pc)) in &probe.spill {
+                    let single = probe.counts.get(&off).map(|pcs| pcs.len() == 1).unwrap_or(false);
+                    if single && !ph1.escaped.contains(&off) {
+                        trusted.insert(off, i);
+                    }
+                }
+            }
+
+            // Phase 2 (live): the real analysis, with trusted spill-slot
+            // reloads keeping parameters visible across superblocks and
+            // live slots bridged across direct calls (the probe's escape
+            // set is complete only if phase 1 stayed unpoisoned).
+            glob.muted = false;
+            let mut summary = FnSummary::default();
+            let bridge_ok = !probe.wild && !ph1.poisoned;
+            let all_lifted = interp_function(
+                module,
+                cfg,
+                fi,
+                &mut glob,
+                &mut fn_facts[fi],
+                &sums,
+                &mut summary,
+                &trusted,
+                None,
+                bridge_ok.then_some(&ph1.escaped),
+            );
+            if !all_lifted {
+                summary = FnSummary::widened();
+            }
+            sums.set(fi, summary);
         }
     }
 
@@ -567,6 +1204,39 @@ pub fn run(module: &Module, cfg: &Cfg) -> Dataflow {
         .iter()
         .enumerate()
         .filter(|(i, s)| !glob.written.contains(i) && !glob.addr_escaped.contains(i) && s.hi > s.lo)
+        .map(|(_, s)| RoRange { name: s.name.clone(), lo: s.lo, hi: s.hi })
+        .collect();
+
+    // Init-only globals: written, but every write site sits in a block
+    // that provably runs before the first thread spawn, and the address
+    // never escapes — so no access can race with the writes.
+    let mut block_of: BTreeMap<u64, (u64, usize, u64)> = BTreeMap::new();
+    for (fi, f) in cfg.funcs.iter().enumerate() {
+        for b in f.blocks.values() {
+            block_of.insert(b.start, (b.end, fi, b.start));
+        }
+    }
+    let locate = |pc: u64| -> Option<(usize, u64)> {
+        let (_, &(end, fi, start)) = block_of.range(..=pc).next_back()?;
+        (pc < end).then_some((fi, start))
+    };
+    let mut writes_by_sym: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for &(si, pc) in &glob.write_sites {
+        writes_by_sym.entry(si).or_default().push(pc);
+    }
+    let init_only: Vec<RoRange> = glob
+        .data_syms
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| {
+            s.hi > s.lo
+                && glob.written.contains(i)
+                && !glob.addr_escaped.contains(i)
+                && writes_by_sym.get(i).is_some_and(|pcs| {
+                    pcs.iter()
+                        .all(|&pc| locate(pc).is_some_and(|(fi, start)| spawn.pre_spawn(fi, start)))
+                })
+        })
         .map(|(_, s)| RoRange { name: s.name.clone(), lo: s.lo, hi: s.hi })
         .collect();
 
@@ -579,15 +1249,40 @@ pub fn run(module: &Module, cfg: &Cfg) -> Dataflow {
             }
             AccessKind::StackAnon => !fn_facts[r.func].poisoned,
             AccessKind::ConstAddr { addr, size, write } => {
-                !write && ro.iter().any(|s| addr >= s.lo && addr + size <= s.hi)
+                let within = |s: &&RoRange| addr >= s.lo && addr.wrapping_add(size) <= s.hi;
+                (!write && ro.iter().any(|s| within(&s))) || init_only.iter().any(|s| within(&s))
             }
             AccessKind::Unknown => false,
         };
         per_pc.entry(r.pc).and_modify(|s| *s &= safe).or_insert(safe);
     }
     let access_pcs = per_pc.len();
+    let all_access_pcs: Vec<u64> = per_pc.keys().copied().collect();
     let safe_pcs: BTreeSet<u64> =
         per_pc.into_iter().filter_map(|(pc, safe)| safe.then_some(pc)).collect();
+    let call_args: BTreeMap<u64, Option<u64>> = glob
+        .call_args
+        .iter()
+        .map(|(&pc, &a)| {
+            (
+                pc,
+                match a {
+                    CallArg::Known(c) => Some(c),
+                    CallArg::Many => None,
+                },
+            )
+        })
+        .collect();
 
-    Dataflow { fn_facts, ro, safe_pcs, code_writes: glob.code_writes, access_pcs }
+    Dataflow {
+        fn_facts,
+        ro,
+        init_only,
+        safe_pcs,
+        code_writes: glob.code_writes,
+        access_pcs,
+        all_access_pcs,
+        call_args,
+        summaries: sums,
+    }
 }

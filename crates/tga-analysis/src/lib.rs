@@ -2,22 +2,38 @@
 //!
 //! This crate recovers a whole-program CFG and call graph from the
 //! decoded instruction stream ([`mod@cfg`]), then runs conservative
-//! dataflow passes over the lifted `vex-ir` superblocks ([`dataflow`]):
-//! stack-slot escape analysis, stack-pointer protocol checking, and
-//! read-only classification of globals. The verdicts are exported as a
-//! [`StaticFacts`] table that Taskgrind consumes as an instrumentation
-//! filter — loads and stores statically proven thread-private (frame
-//! slots that never escape) or read-only (globals never written or
-//! address-taken) skip interval-tree recording entirely, shrinking the
-//! recording phase without changing any race verdict. The same facts
-//! power the `lint` CLI subcommand, which prints CFG statistics and
-//! the static findings with debug-info locations.
+//! dataflow passes over the lifted `vex-ir` superblocks ([`dataflow`]),
+//! interprocedurally via bottom-up call-graph summaries
+//! ([`summaries`]): stack-slot escape analysis, stack-pointer protocol
+//! checking, and read-only / init-only classification of globals. The
+//! verdicts are exported as a [`StaticFacts`] table that Taskgrind
+//! consumes as an instrumentation filter — loads and stores statically
+//! proven thread-private (frame slots that never escape), read-only
+//! (globals never written or address-taken), or init-only (globals
+//! written exclusively before the first thread spawn) skip
+//! interval-tree recording entirely, shrinking the recording phase
+//! without changing any race verdict.
+//!
+//! On top of the memory classification sits a static concurrency
+//! analysis: a must-held lockset dataflow ([`lockset`]) and a
+//! lock-order graph with cycle detection ([`lockorder`]). These feed
+//! three lint finding kinds (potential deadlocks, double locks, lock
+//! leaks) and a *guard map* — access sites provably executed with a
+//! known lock held, tagged so the sweep can suppress pairs that share a
+//! statically proven common lock. The same facts power the `lint` CLI
+//! subcommand, which prints CFG statistics and the static findings with
+//! debug-info locations.
+
+#![warn(missing_docs)]
 
 use std::collections::BTreeSet;
-use tga::module::Module;
+use tga::module::{Module, SymKind};
 
 pub mod cfg;
 pub mod dataflow;
+pub mod lockorder;
+pub mod lockset;
+pub mod summaries;
 
 pub use cfg::{Cfg, CfgStats};
 pub use dataflow::{Dataflow, FnFacts, RoRange};
@@ -27,25 +43,64 @@ pub use dataflow::{Dataflow, FnFacts, RoRange};
 pub enum FindingKind {
     /// A function not reachable from the entry point or any
     /// address-taken function.
-    UnreachableFunction { name: String },
+    UnreachableFunction {
+        /// Symbol name of the unreachable function.
+        name: String,
+    },
     /// A frame slot whose address flows out of its frame (into memory,
     /// a call, or a syscall); accesses to it stay instrumented.
-    EscapingStackSlot { func: String, offset: i64 },
+    EscapingStackSlot {
+        /// Function owning the frame.
+        func: String,
+        /// Canonical `fp`-relative offset of the escaping slot.
+        offset: i64,
+    },
     /// The whole frame of a function had to be given up on (a stack
     /// address flowed through arithmetic the analysis cannot follow).
-    FrameNotAnalyzable { func: String },
+    FrameNotAnalyzable {
+        /// The affected function.
+        func: String,
+    },
     /// A return site whose reconstructed stack pointer does not restore
     /// the caller's.
-    SpMismatchOnReturn { func: String },
+    SpMismatchOnReturn {
+        /// The affected function.
+        func: String,
+    },
     /// A store with a constant target inside the text section.
-    WriteToReadOnly { target: u64 },
+    WriteToReadOnly {
+        /// The targeted text address.
+        target: u64,
+    },
+    /// A cycle in the static lock-order graph: two threads taking these
+    /// locks in the witnessed orders can deadlock.
+    LockOrderCycle {
+        /// Human-readable lock names along the cycle.
+        locks: Vec<String>,
+    },
+    /// An acquisition of a lock the thread already holds (self-deadlock
+    /// on the runtime's non-reentrant locks).
+    DoubleLock {
+        /// Human-readable name of the re-acquired lock.
+        lock: String,
+    },
+    /// A lock released on some path to a return but still held on
+    /// another.
+    LockLeak {
+        /// Function containing the divergence.
+        func: String,
+        /// Human-readable name of the conditionally leaked lock.
+        lock: String,
+    },
 }
 
 /// One static finding, anchored to a guest pc with its source location
 /// when the module has line info.
 #[derive(Clone, Debug)]
 pub struct Finding {
+    /// The finding's classification and payload.
     pub kind: FindingKind,
+    /// Guest pc the finding is anchored to.
     pub addr: u64,
     /// `file:line` from the module's line table, if present.
     pub loc: Option<String>,
@@ -69,6 +124,15 @@ impl Finding {
             FindingKind::WriteToReadOnly { target } => {
                 format!("store targets read-only text address {target:#x}")
             }
+            FindingKind::LockOrderCycle { locks } => {
+                format!("potential deadlock: lock-order cycle {}", locks.join(" -> "))
+            }
+            FindingKind::DoubleLock { lock } => {
+                format!("double lock: {lock} acquired while already held")
+            }
+            FindingKind::LockLeak { func, lock } => {
+                format!("lock leak: `{func}` returns with {lock} held on some path only")
+            }
         }
     }
 }
@@ -80,19 +144,47 @@ impl std::fmt::Display for Finding {
     }
 }
 
+/// Options for [`analyze_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyzeOpts {
+    /// Run the static concurrency pass (locksets, lock-order graph,
+    /// guard map). When off, only the memory-classification facts are
+    /// produced — lock findings and guarded-site tags are empty.
+    pub concurrency: bool,
+}
+
+impl Default for AnalyzeOpts {
+    fn default() -> AnalyzeOpts {
+        AnalyzeOpts { concurrency: true }
+    }
+}
+
 /// The exported verdict table: everything Taskgrind's instrumentation
 /// filter and the `lint` subcommand need.
 #[derive(Clone, Debug)]
 pub struct StaticFacts {
+    /// CFG recovery statistics.
     pub stats: CfgStats,
-    /// Guest pcs of loads/stores proven thread-private or read-only in
-    /// every lifted context that contains them.
+    /// Guest pcs of loads/stores proven thread-private, read-only or
+    /// init-only in every lifted context that contains them.
     pub safe_pcs: BTreeSet<u64>,
     /// Globals classified read-only.
     pub ro: Vec<RoRange>,
+    /// Globals written only before the first thread spawn, with their
+    /// address never escaping.
+    pub init_only: Vec<RoRange>,
+    /// All static findings, sorted by pc.
     pub findings: Vec<Finding>,
     /// Distinct access pcs seen (denominator for the filter rate).
     pub access_pcs: usize,
+    /// `(access pc, lock bitmask)` for recorded (non-pruned) access
+    /// sites provably executed with at least one known lock held,
+    /// sorted by pc. Bit `i` of a mask names `lock_universe[i]`.
+    pub guarded: Vec<(u64, u64)>,
+    /// The lock identities behind the guard-mask bits (at most 64; the
+    /// identity is the raw critical id or lock address — the same value
+    /// the runtime passes to `CRITICAL_ENTER`).
+    pub lock_universe: Vec<u64>,
 }
 
 impl StaticFacts {
@@ -100,6 +192,15 @@ impl StaticFacts {
     /// are always recorded, and atomics are never in `safe_pcs`.
     pub fn is_safe_access(&self, pc: u64, _write: bool) -> bool {
         self.safe_pcs.contains(&pc)
+    }
+
+    /// Statically proven guard mask of the access at `pc` (0 when no
+    /// lock is proven held there).
+    pub fn guard_mask(&self, pc: u64) -> u64 {
+        match self.guarded.binary_search_by_key(&pc, |&(p, _)| p) {
+            Ok(i) => self.guarded[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Human-readable lint report.
@@ -126,6 +227,17 @@ impl StaticFacts {
             let names: Vec<&str> = self.ro.iter().map(|r| r.name.as_str()).collect();
             out.push_str(&format!("read-only globals: {}\n", names.join(", ")));
         }
+        if self.init_only.is_empty() {
+            out.push_str("init-only globals: none\n");
+        } else {
+            let names: Vec<&str> = self.init_only.iter().map(|r| r.name.as_str()).collect();
+            out.push_str(&format!("init-only globals: {}\n", names.join(", ")));
+        }
+        out.push_str(&format!(
+            "locks: {} distinct, {} guarded access sites\n",
+            self.lock_universe.len(),
+            self.guarded.len()
+        ));
         out.push_str(&format!("findings: {}\n", self.findings.len()));
         for f in &self.findings {
             out.push_str(&format!("  {f}\n"));
@@ -134,8 +246,30 @@ impl StaticFacts {
     }
 }
 
-/// Run the full static pipeline: CFG recovery, dataflow, findings.
-pub fn analyze(module: &Module) -> StaticFacts {
+/// Human-readable name of a lock identity: a critical-section id, a
+/// data symbol (for `omp_lock_t` objects), or a raw address.
+fn fmt_lock(module: &Module, id: u64) -> String {
+    if let Some(s) = module
+        .symbols
+        .iter()
+        .filter(|s| s.kind == SymKind::Data)
+        .find(|s| id >= s.addr && id < s.addr + s.size.max(1))
+    {
+        if id == s.addr {
+            format!("lock `{}`", s.name)
+        } else {
+            format!("lock `{}`+{}", s.name, id - s.addr)
+        }
+    } else if id < 0x1_0000 {
+        format!("critical section #{id}")
+    } else {
+        format!("lock {id:#x}")
+    }
+}
+
+/// Run the full static pipeline: CFG recovery, interprocedural
+/// dataflow, locksets, findings.
+pub fn analyze_with(module: &Module, opts: &AnalyzeOpts) -> StaticFacts {
     let cfg = cfg::recover(module);
     let df = dataflow::run(module, &cfg);
 
@@ -188,15 +322,85 @@ pub fn analyze(module: &Module) -> StaticFacts {
             loc: loc(pc),
         });
     }
+
+    let mut guarded: Vec<(u64, u64)> = Vec::new();
+    let mut lock_universe: Vec<u64> = Vec::new();
+    if opts.concurrency {
+        let cg = summaries::call_graph(&cfg);
+        let lf = lockset::analyze(&cfg, &cg, &df.call_args);
+        lock_universe = lf.universe.iter().copied().take(64).collect();
+        let bit_of = |l: u64| lock_universe.iter().position(|&u| u == l);
+        for (start, end, held) in &lf.held_ranges {
+            let mask = held.iter().filter_map(|&l| bit_of(l)).fold(0u64, |m, b| m | (1u64 << b));
+            if mask == 0 {
+                continue;
+            }
+            let lo = df.all_access_pcs.partition_point(|&pc| pc < *start);
+            let hi = df.all_access_pcs.partition_point(|&pc| pc < *end);
+            for &pc in &df.all_access_pcs[lo..hi] {
+                if !df.safe_pcs.contains(&pc) {
+                    guarded.push((pc, mask));
+                }
+            }
+        }
+        guarded.sort_unstable();
+        // A pc seen under several blocks keeps only commonly held locks.
+        guarded.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 &= next.1;
+                true
+            } else {
+                false
+            }
+        });
+        guarded.retain(|&(_, m)| m != 0);
+
+        for d in &lf.double_locks {
+            findings.push(Finding {
+                kind: FindingKind::DoubleLock { lock: fmt_lock(module, d.lock) },
+                addr: d.pc,
+                loc: loc(d.pc),
+            });
+        }
+        for l in &lf.lock_leaks {
+            findings.push(Finding {
+                kind: FindingKind::LockLeak {
+                    func: l.func.clone(),
+                    lock: fmt_lock(module, l.lock),
+                },
+                addr: l.pc,
+                loc: loc(l.pc),
+            });
+        }
+        let graph = lockorder::OrderGraph::build(&lf.order_edges);
+        for c in graph.cycles() {
+            let names = c.locks.iter().map(|&l| fmt_lock(module, l)).collect();
+            let addr = c.pcs.first().copied().unwrap_or(0);
+            findings.push(Finding {
+                kind: FindingKind::LockOrderCycle { locks: names },
+                addr,
+                loc: loc(addr),
+            });
+        }
+    }
     findings.sort_by_key(|f| f.addr);
 
     StaticFacts {
         stats: cfg.stats,
         safe_pcs: df.safe_pcs,
         ro: df.ro,
+        init_only: df.init_only,
         findings,
         access_pcs: df.access_pcs,
+        guarded,
+        lock_universe,
     }
+}
+
+/// Run the full static pipeline with default options (concurrency pass
+/// included).
+pub fn analyze(module: &Module) -> StaticFacts {
+    analyze_with(module, &AnalyzeOpts::default())
 }
 
 #[cfg(test)]
@@ -205,17 +409,26 @@ mod tests {
     use tga::module::{SymKind, Symbol, CODE_BASE};
     use tga::INST_SIZE;
 
-    /// A program with one escaping local (`leaked`, passed by address)
-    /// and one that never leaves its frame (`kept`).
+    /// A program with one escaping local (`leaked`, captured by
+    /// `taker`), one passed to a callee that only writes through the
+    /// pointer (`local` — must *not* escape thanks to the summary
+    /// pass), and one that never leaves the frame at all (`kept`).
+    /// `writer` returns a value on purpose: a void minicc function
+    /// leaves `a0` untouched, so the incoming pointer would still sit
+    /// in `a0` at `ret` and the summary pass conservatively treats a
+    /// parameter residing in `a0` at return as escaping.
     const SAMPLE: &str = r#"
-long sink;
-void taker(long *p) { *p = 1; }
+long *sink_p;
+void taker(long *p) { sink_p = p; *p = 1; }
+long writer(long *p) { *p = 2; return 0; }
 long sample() {
   long kept = 7;
   long leaked = 0;
+  long local = 0;
   taker(&leaked);
+  writer(&local);
   kept = kept + 2;
-  return kept + leaked;
+  return kept + leaked + local;
 }
 int main() { return sample(); }
 "#;
@@ -286,8 +499,7 @@ int main() { return sample(); }
         let m = sample_module();
         let facts = analyze(&m);
 
-        // `leaked` escapes: the analysis must report an escaping slot in
-        // `sample`, and the finding carries debug info.
+        // `leaked` escapes: `taker` stores the pointer into a global.
         let escape = facts
             .findings
             .iter()
@@ -327,6 +539,37 @@ int main() { return sample(); }
             }
             pc += INST_SIZE;
         }
+    }
+
+    /// The interprocedural summary pass must keep `&local` passed to a
+    /// write-only callee from escaping: no escape finding lands on the
+    /// `writer(&local)` call line.
+    #[test]
+    fn pointer_to_non_capturing_callee_does_not_escape() {
+        let m = sample_module();
+        let facts = analyze(&m);
+        let call_line = sample_line("writer(&local)");
+        for f in &facts.findings {
+            if let FindingKind::EscapingStackSlot { func, .. } = &f.kind {
+                if func == "sample" {
+                    if let Some(l) = m.line_for(f.addr) {
+                        assert_ne!(
+                            l.line, call_line,
+                            "passing &local to a non-capturing callee must not escape it: {f}"
+                        );
+                    }
+                }
+            }
+        }
+        // And exactly one local of `sample` escapes (`leaked`).
+        let escapes = facts
+            .findings
+            .iter()
+            .filter(|f| {
+                matches!(&f.kind, FindingKind::EscapingStackSlot { func, .. } if func == "sample")
+            })
+            .count();
+        assert_eq!(escapes, 1, "only `leaked` escapes `sample`:\n{}", facts.render());
     }
 
     /// Hand-written assembly: a store into the text section must be
@@ -394,5 +637,86 @@ int main() { return sample(); }
         // Prologue link saves and the frame never escape here.
         let save_ra_pc = CODE_BASE + INST_SIZE;
         assert!(facts.is_safe_access(save_ra_pc, true), "link save is thread-private");
+    }
+
+    /// A global written only before any thread exists is init-only and
+    /// its accesses are safe; the same global written from a spawned
+    /// worker's reachable code is not.
+    #[test]
+    fn init_only_global_classification() {
+        const PRE: &str = r#"
+long n_items;
+long shared;
+int main() {
+  n_items = 42;
+  #pragma omp parallel
+  {
+    shared = n_items + 1;
+  }
+  return (int) shared;
+}
+"#;
+        let m = guest_rt::build_single("init_only.c", PRE).expect("compiles");
+        let facts = analyze(&m);
+        assert!(
+            facts.init_only.iter().any(|r| r.name == "n_items"),
+            "pre-spawn-written global is init-only: {}",
+            facts.render()
+        );
+        assert!(
+            !facts.init_only.iter().any(|r| r.name == "shared"),
+            "global written inside the parallel region must stay instrumented"
+        );
+        assert!(!facts.ro.iter().any(|r| r.name == "n_items"), "written global is not read-only");
+    }
+
+    /// Lock findings: a nested re-acquire of the same critical section
+    /// is a double lock, and opposite nesting orders of two criticals
+    /// form a lock-order cycle.
+    #[test]
+    fn lock_findings_on_seeded_program() {
+        const DEADLOCKY: &str = r#"
+long x;
+void ab() {
+  #pragma omp critical(a)
+  {
+    #pragma omp critical(b)
+    { x = x + 1; }
+  }
+}
+void ba() {
+  #pragma omp critical(b)
+  {
+    #pragma omp critical(a)
+    { x = x + 2; }
+  }
+}
+int main() {
+  #pragma omp parallel
+  {
+    ab();
+    ba();
+  }
+  return 0;
+}
+"#;
+        let m = guest_rt::build_single("deadlocky.c", DEADLOCKY).expect("compiles");
+        let facts = analyze(&m);
+        assert!(
+            facts.findings.iter().any(
+                |f| matches!(&f.kind, FindingKind::LockOrderCycle { locks } if locks.len() == 2)
+            ),
+            "opposite critical nesting is a lock-order cycle:\n{}",
+            facts.render()
+        );
+        // The guarded increments inside the criticals are tagged.
+        assert!(!facts.lock_universe.is_empty(), "locks discovered");
+        assert!(!facts.guarded.is_empty(), "guarded access sites tagged");
+        // The toggle removes every concurrency fact but nothing else.
+        let off = analyze_with(&m, &AnalyzeOpts { concurrency: false });
+        assert!(off.guarded.is_empty() && off.lock_universe.is_empty());
+        assert!(!off.findings.iter().any(|f| matches!(f.kind, FindingKind::LockOrderCycle { .. })));
+        assert_eq!(off.safe_pcs, facts.safe_pcs, "memory facts unaffected by the toggle");
+        assert_eq!(off.access_pcs, facts.access_pcs);
     }
 }

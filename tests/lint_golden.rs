@@ -1,0 +1,96 @@
+//! Golden-file test for `tgrind lint` over the DRB/TMB kernel corpus.
+//!
+//! One line per corpus program: the static-filter rate, the lock
+//! universe and guarded-site counts, and every *lock* finding (cycle /
+//! double lock / leak) with its `file:line` anchor. The file is checked
+//! in (`tests/golden/drb_lint.golden`) and CI diffs against it, so a
+//! change in lint verdicts on the corpus is always a conscious,
+//! reviewed decision — bless with `UPDATE_GOLDEN=1 cargo test --test
+//! lint_golden`.
+
+use std::fmt::Write as _;
+use tg_drb::corpus::{corpus, BenchProgram};
+use tg_drb::extra_corpus;
+use tga_analysis::{analyze_with, AnalyzeOpts, Finding, FindingKind, StaticFacts};
+
+/// The full kernel set: Table-I DRB/TMB programs plus the extended
+/// kernels (explicit OMP locks, detach, Cilk, barriers).
+fn all_programs() -> Vec<BenchProgram> {
+    let mut v = corpus();
+    v.extend(extra_corpus());
+    v
+}
+
+fn lock_findings(facts: &StaticFacts) -> Vec<&Finding> {
+    facts
+        .findings
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.kind,
+                FindingKind::LockOrderCycle { .. }
+                    | FindingKind::DoubleLock { .. }
+                    | FindingKind::LockLeak { .. }
+            )
+        })
+        .collect()
+}
+
+fn render_golden() -> String {
+    let mut out = String::new();
+    for p in all_programs() {
+        let Ok(m) = guest_rt::build_single(p.name, p.source) else {
+            let _ = writeln!(out, "{}: does-not-compile", p.name);
+            continue;
+        };
+        let facts = analyze_with(&m, &AnalyzeOpts::default());
+        let _ = write!(
+            out,
+            "{}: safe {}/{}, locks {}, guarded {}",
+            p.name,
+            facts.safe_pcs.len(),
+            facts.access_pcs,
+            facts.lock_universe.len(),
+            facts.guarded.len()
+        );
+        let lock = lock_findings(&facts);
+        if lock.is_empty() {
+            let _ = writeln!(out, ", lock-findings none");
+        } else {
+            let _ = writeln!(out, ", lock-findings {}", lock.len());
+            for f in lock {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn drb_lint_matches_golden() {
+    let got = render_golden();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/drb_lint.golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("tests/golden/drb_lint.golden missing — bless with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "corpus lint verdicts drifted from tests/golden/drb_lint.golden; \
+         if intentional, bless with UPDATE_GOLDEN=1 cargo test --test lint_golden"
+    );
+}
+
+/// No DRB/TMB kernel contains a lock-order cycle, a double lock, or a
+/// lock leak — any lock finding on the corpus is a false positive.
+#[test]
+fn corpus_has_zero_lock_finding_false_positives() {
+    for p in all_programs() {
+        let Ok(m) = guest_rt::build_single(p.name, p.source) else { continue };
+        let facts = analyze_with(&m, &AnalyzeOpts::default());
+        let lock = lock_findings(&facts);
+        assert!(lock.is_empty(), "{}: false positive lock finding(s): {lock:?}", p.name);
+    }
+}
