@@ -1,0 +1,111 @@
+//! Persistent code-cache bench: warm vs cold taskgrind runs on
+//! mini-LULESH (EXPERIMENTS.md E16). Three configurations:
+//!
+//! * `no_cache` — the baseline pipeline, nothing attached;
+//! * `cold` — a fresh cache directory every iteration: pays the
+//!   serialize-and-store cost on top of compilation;
+//! * `warm` — a pre-populated cache: compilation replaced by
+//!   deserialization.
+//!
+//! Wall clock is environment-dependent, so the in-bench assertions pin
+//! the *structural* claim instead: the warm run serves ≥90% of its
+//! translations from disk and reports byte-identically to the cold run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use taskgrind::{check_module, TaskgrindConfig};
+use tg_cache::{module_hash, DiskCodeCache};
+use tg_lulesh::harness::LuleshParams;
+use tg_lulesh::LULESH_MC;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "tg-bench-cache-{}-{}-{}",
+        tag,
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn run_once(
+    m: &tga::module::Module,
+    args: &[&str],
+    cache: Option<&Rc<RefCell<DiskCodeCache>>>,
+) -> taskgrind::TaskgrindResult {
+    let cfg = TaskgrindConfig {
+        vm: grindcore::VmConfig { nthreads: 2, ..Default::default() },
+        code_cache: cache.map(|rc| grindcore::CodeCacheHandle::new(rc.clone())),
+        ..Default::default()
+    };
+    let r = check_module(m, args, &cfg);
+    if let Some(rc) = cache {
+        rc.borrow_mut().flush().expect("cache flushes");
+    }
+    r
+}
+
+fn open(dir: &Path, m: &tga::module::Module) -> Rc<RefCell<DiskCodeCache>> {
+    Rc::new(RefCell::new(DiskCodeCache::open(dir, module_hash(m), 0).expect("cache opens")))
+}
+
+fn bench_code_cache(c: &mut Criterion) {
+    let m = guest_rt::build_single("lulesh.c", LULESH_MC).expect("compiles");
+    let p =
+        LuleshParams { s: 4, tel: 2, tnl: 2, iters: 2, progress: false, racy: false, threads: 2 };
+    let args_owned = p.args();
+    let args: Vec<&str> = args_owned.iter().map(|s| s.as_str()).collect();
+
+    // One-off structural comparison, also the smoke assertion for CI.
+    let warm_dir = temp_dir("warm");
+    let cache = open(&warm_dir, &m);
+    let cold = run_once(&m, &args, Some(&cache));
+    let cache = open(&warm_dir, &m);
+    let warm = run_once(&m, &args, Some(&cache));
+    let (cs, ws) = (cold.run.metrics.cache, warm.run.metrics.cache);
+    println!(
+        "cold: {:>4} translations, {:>4} stored blocks, {:>8} bytes stored, rec {:.3}s",
+        cold.run.metrics.translations, cs.misses, cs.bytes_stored, cold.recording_secs
+    );
+    println!(
+        "warm: {:>4} translations, {:>4} hits / {:>2} misses, {:>8} bytes loaded, rec {:.3}s",
+        warm.run.metrics.translations, ws.hits, ws.misses, ws.bytes_loaded, warm.recording_secs
+    );
+    assert!(ws.hits * 10 >= (ws.hits + ws.misses) * 9, "warm run must hit >=90%: {ws:?}");
+    assert!(
+        warm.run.metrics.translations * 10 <= cold.run.metrics.translations,
+        "warm run must skip >=90% of compilations"
+    );
+    assert_eq!(cold.render_all(), warm.render_all(), "verdict parity");
+    assert_eq!(cold.accesses_recorded, warm.accesses_recorded, "recording parity");
+
+    let mut g = c.benchmark_group("code_cache");
+    g.sample_size(10);
+    g.bench_function("lulesh_s4/no_cache", |b| {
+        b.iter(|| std::hint::black_box(run_once(&m, &args, None).accesses_recorded))
+    });
+    g.bench_function("lulesh_s4/cold", |b| {
+        b.iter(|| {
+            let dir = temp_dir("cold");
+            let cache = open(&dir, &m);
+            let n = run_once(&m, &args, Some(&cache)).accesses_recorded;
+            drop(cache);
+            let _ = std::fs::remove_dir_all(&dir);
+            std::hint::black_box(n)
+        })
+    });
+    g.bench_function("lulesh_s4/warm", |b| {
+        b.iter(|| {
+            let cache = open(&warm_dir, &m);
+            std::hint::black_box(run_once(&m, &args, Some(&cache)).accesses_recorded)
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&warm_dir);
+}
+
+criterion_group!(benches, bench_code_cache);
+criterion_main!(benches);

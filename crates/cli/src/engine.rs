@@ -9,6 +9,7 @@
 /// Parsed command-line options (see `tgrind --help`).
 pub struct Opts {
     pub lint: bool,
+    pub warm: bool,
     pub tool: String,
     pub threads: u64,
     pub seed: u64,
@@ -25,6 +26,8 @@ pub struct Opts {
     pub no_sweep: bool,
     pub no_bulk: bool,
     pub no_fuse: bool,
+    pub code_cache: Option<String>,
+    pub no_code_cache: bool,
     pub streaming: bool,
     pub no_streaming: bool,
     pub max_live_segments: usize,
@@ -90,6 +93,14 @@ pub const FLAGS: &[FlagSpec] = &[
         default: "on",
         subsystem: "translation",
         effect: "peephole fusion of flat-compiled blocks",
+    },
+    FlagSpec {
+        knob: "code_cache",
+        flag: "`--code-cache=DIR` / `--no-code-cache`",
+        env: Some("`TG_CODE_CACHE`"),
+        default: "off",
+        subsystem: "translation",
+        effect: "persistent on-disk cache of compiled blocks + static facts (see `tgrind warm`)",
     },
     FlagSpec {
         knob: "static_filter",
@@ -177,6 +188,9 @@ pub struct EngineConfig {
     pub sweep: bool,
     pub bulk: bool,
     pub fuse: bool,
+    /// Directory of the persistent compiled-code cache (`--code-cache`,
+    /// `TG_CODE_CACHE`); `None` runs cold.
+    pub code_cache: Option<String>,
     pub static_filter: bool,
     pub static_concurrency: bool,
     pub streaming: bool,
@@ -202,6 +216,11 @@ impl EngineConfig {
             sweep: !o.no_sweep,
             bulk: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
             fuse: !o.no_fuse && std::env::var_os("TG_NO_FUSE").is_none(),
+            code_cache: if o.no_code_cache {
+                None
+            } else {
+                o.code_cache.clone().or_else(|| env_path("TG_CODE_CACHE"))
+            },
             static_filter: !o.no_static_filter,
             static_concurrency: !o.no_static_concurrency,
             streaming: if o.streaming {
@@ -240,6 +259,7 @@ impl EngineConfig {
             ("sweep", onoff(self.sweep)),
             ("bulk", onoff(self.bulk)),
             ("fuse", onoff(self.fuse)),
+            ("code_cache", self.code_cache.clone().unwrap_or_else(|| "off".into())),
             ("static_filter", onoff(self.static_filter)),
             ("static_concurrency", onoff(self.static_concurrency)),
             ("streaming", onoff(self.streaming)),
@@ -250,6 +270,33 @@ impl EngineConfig {
         ]
     }
 
+    /// Fingerprint of every knob that changes what a translation looks
+    /// like — the config half of the code-cache key. Two runs whose
+    /// fingerprints match would compile byte-identical flat blocks (and
+    /// identical `StaticFacts`), so they may share cached code; any
+    /// other knob (scheduling, analysis engine, observability) is
+    /// deliberately excluded. `extra` carries caller context that also
+    /// shapes instrumentation (tool name, ignore-list / allocator
+    /// replacement settings).
+    pub fn translation_fingerprint(&self, extra: &[String]) -> u64 {
+        use grindcore::wire::fold64;
+        let mut h = fold64(0, b"tgc-fp-v1");
+        h = fold64(
+            h,
+            &[
+                self.chaining as u8,
+                self.fuse as u8,
+                self.static_filter as u8,
+                self.static_concurrency as u8,
+            ],
+        );
+        for part in extra {
+            h = fold64(h, part.as_bytes());
+            h = fold64(h, &[0xff]); // separator: ["ab"] != ["a","b"]
+        }
+        h
+    }
+
     /// Publish the resolved engine toggles into the metrics registry
     /// under `engine.*`.
     pub fn publish(&self, reg: &mut tg_obs::Registry) {
@@ -257,6 +304,7 @@ impl EngineConfig {
         reg.set_bool("engine.sweep", self.sweep);
         reg.set_bool("engine.bulk", self.bulk);
         reg.set_bool("engine.fuse", self.fuse);
+        reg.set_str("engine.code_cache", self.code_cache.as_deref().unwrap_or("off"));
         reg.set_bool("engine.static_filter", self.static_filter);
         reg.set_bool("engine.static_concurrency", self.static_concurrency);
         reg.set_bool("engine.streaming", self.streaming);
@@ -274,13 +322,15 @@ pub fn usage() -> ! {
     eprintln!("              [--no-static-concurrency]");
     eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
     eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk] [--no-fuse]");
+    eprintln!("              [--code-cache=DIR] [--no-code-cache]");
     eprintln!("              [--streaming|--no-streaming] [--max-live-segments=N]");
     eprintln!("              [--trace-out=FILE] [--metrics-json=FILE] [--self-profile]");
     eprintln!("              [--dot=FILE] [--disasm]");
     eprintln!("              <program.c> [-- args...]");
     eprintln!("       tgrind lint [--lint-json=FILE] <program.c>");
-    eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_STREAMING, TG_TRACE_OUT, TG_METRICS_JSON,");
-    eprintln!("            TG_SELF_PROFILE (flags win over env)");
+    eprintln!("       tgrind warm --code-cache=DIR <program.c>   (precompile the whole CFG)");
+    eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_CODE_CACHE, TG_STREAMING, TG_TRACE_OUT,");
+    eprintln!("            TG_METRICS_JSON, TG_SELF_PROFILE (flags win over env)");
     std::process::exit(2)
 }
 
@@ -288,6 +338,7 @@ pub fn usage() -> ! {
 pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
     let mut o = Opts {
         lint: false,
+        warm: false,
         tool: "taskgrind".into(),
         threads: 1,
         seed: 42,
@@ -304,6 +355,8 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
         no_sweep: false,
         no_bulk: false,
         no_fuse: false,
+        code_cache: None,
+        no_code_cache: false,
         streaming: false,
         no_streaming: false,
         max_live_segments: 0,
@@ -355,6 +408,10 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
             o.no_bulk = true;
         } else if a == "--no-fuse" {
             o.no_fuse = true;
+        } else if let Some(v) = a.strip_prefix("--code-cache=") {
+            o.code_cache = Some(v.to_string());
+        } else if a == "--no-code-cache" {
+            o.no_code_cache = true;
         } else if a == "--streaming" {
             o.streaming = true;
         } else if a == "--no-streaming" {
@@ -376,8 +433,10 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
         } else if a.starts_with("--") {
             eprintln!("unknown option {a}");
             usage();
-        } else if a == "lint" && !o.lint && o.program.is_empty() {
+        } else if a == "lint" && !o.lint && !o.warm && o.program.is_empty() {
             o.lint = true;
+        } else if a == "warm" && !o.warm && !o.lint && o.program.is_empty() {
+            o.warm = true;
         } else if o.program.is_empty() {
             o.program = a;
         } else {
@@ -424,6 +483,41 @@ mod tests {
         let eng = EngineConfig::resolve(&opts(&["p.c"]));
         assert!(eng.trace_out.is_none() || std::env::var_os("TG_TRACE_OUT").is_some());
         assert!(!eng.self_profile || std::env::var_os("TG_SELF_PROFILE").is_some());
+    }
+
+    #[test]
+    fn code_cache_flags_parse_and_resolve() {
+        let o = opts(&["--code-cache=/tmp/tgc", "p.c"]);
+        let eng = EngineConfig::resolve(&o);
+        assert_eq!(eng.code_cache.as_deref(), Some("/tmp/tgc"));
+        // --no-code-cache wins over the directory flag and the env var.
+        let o = opts(&["--code-cache=/tmp/tgc", "--no-code-cache", "p.c"]);
+        assert!(EngineConfig::resolve(&o).code_cache.is_none());
+        let o = opts(&["warm", "p.c"]);
+        assert!(o.warm);
+        assert_eq!(o.program, "p.c");
+    }
+
+    #[test]
+    fn fingerprint_tracks_translation_knobs_only() {
+        let base = EngineConfig::resolve(&opts(&["p.c"]));
+        let fp = base.translation_fingerprint(&[]);
+        let nofuse = EngineConfig::resolve(&opts(&["--no-fuse", "p.c"]));
+        assert_ne!(fp, nofuse.translation_fingerprint(&[]), "fuse must be keyed");
+        let noconc = EngineConfig::resolve(&opts(&["--no-static-concurrency", "p.c"]));
+        assert_ne!(fp, noconc.translation_fingerprint(&[]), "static_concurrency must be keyed");
+        let streaming = EngineConfig::resolve(&opts(&["--streaming", "p.c"]));
+        assert_eq!(
+            fp,
+            streaming.translation_fingerprint(&[]),
+            "analysis-side knobs must not invalidate cached code"
+        );
+        assert_ne!(fp, base.translation_fingerprint(&["tool=archer".into()]));
+        assert_ne!(
+            base.translation_fingerprint(&["ab".into()]),
+            base.translation_fingerprint(&["a".into(), "b".into()]),
+            "extra parts must be delimited"
+        );
     }
 
     #[test]

@@ -7,3 +7,4 @@
 
 pub mod engine;
 pub mod lint;
+pub mod warm;

@@ -6,6 +6,9 @@
 //!                        static analysis only: CFG stats, lock findings
 //!                        (deadlock cycles, double locks, lock leaks);
 //!                        exits non-zero when there are findings
+//! tgrind warm --code-cache=<dir> <program.c>
+//!                        precompile the whole statically recoverable
+//!                        CFG into the persistent code cache
 //!
 //!   --tool=<taskgrind|archer|tasksan|romp|none>   (default: taskgrind)
 //!   --threads=<n>        OMP_NUM_THREADS analog    (default: 1)
@@ -31,6 +34,9 @@
 //!                        bulk ingestion (TG_NO_BULK=1 equivalent)
 //!   --no-fuse            disable peephole fusion in the lifter
 //!                        (TG_NO_FUSE=1 equivalent)
+//!   --code-cache=<dir>   persistent on-disk cache of compiled blocks
+//!                        and static facts (TG_CODE_CACHE equivalent)
+//!   --no-code-cache      ignore --code-cache / TG_CODE_CACHE
 //!   --streaming          online bounded-memory analysis: retire segments
 //!                        as the happens-before frontier passes them and
 //!                        analyze per epoch on a background pool
@@ -60,7 +66,7 @@ use taskgrind::analysis::SuppressOptions;
 use taskgrind::tool::RecordOptions;
 use taskgrind::{check_module, TaskgrindConfig};
 use tg_baselines::{archer::run_archer, romp::run_romp, tasksan::run_tasksan};
-use tg_cli::engine::{parse_args, EngineConfig};
+use tg_cli::engine::{parse_args, EngineConfig, Opts};
 
 /// Write `text` to `path`, reporting (but not aborting on) failure.
 fn write_artifact(what: &str, path: &str, text: &str) {
@@ -109,6 +115,45 @@ fn render_profile(reg: &tg_obs::Registry) -> String {
         ));
     }
     out
+}
+
+/// The recording options shared by `tgrind warm` and the taskgrind run
+/// path. Factored so both sides instrument identically — a warmed block
+/// must be byte-for-byte what the cold translation pipeline produces.
+fn record_options(o: &Opts, eng: &EngineConfig) -> RecordOptions {
+    RecordOptions {
+        ignore_list: if o.no_ignore { Vec::new() } else { taskgrind::tool::default_ignore_list() },
+        replace_allocator: !o.keep_free,
+        static_filter: eng.static_filter,
+        static_concurrency: eng.static_concurrency,
+        bulk_ingest: eng.bulk,
+        ..Default::default()
+    }
+}
+
+/// Open the on-disk code cache for `m` under the current configuration.
+/// The fingerprint folds in everything instrumentation-shaping that is
+/// *not* already an [`EngineConfig`] translation knob: the tool name and
+/// the two RecordOptions toggles that change what gets instrumented.
+fn open_code_cache(
+    dir: &str,
+    m: &tga::module::Module,
+    o: &Opts,
+    eng: &EngineConfig,
+) -> Option<tg_cache::DiskCodeCache> {
+    let parts = vec![
+        format!("tool={}", o.tool),
+        format!("ignore={}", !o.no_ignore),
+        format!("allocator={}", !o.keep_free),
+    ];
+    let fp = eng.translation_fingerprint(&parts);
+    match tg_cache::DiskCodeCache::open(std::path::Path::new(dir), tg_cache::module_hash(m), fp) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!("tgrind: cannot open code cache {dir}: {e}");
+            None
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -172,6 +217,37 @@ fn main() -> ExitCode {
         return ExitCode::from(if reg.u64("lint.findings") > 0 { 1 } else { 0 });
     }
 
+    if o.warm {
+        let Some(dir) = eng.code_cache.clone() else {
+            eprintln!(
+                "tgrind warm: no cache directory (pass --code-cache=DIR or set TG_CODE_CACHE)"
+            );
+            return ExitCode::from(2);
+        };
+        if o.tool != "taskgrind" {
+            eprintln!("tgrind warm: only the taskgrind tool is cacheable (got `{}`)", o.tool);
+            return ExitCode::from(2);
+        }
+        let m = build(false);
+        let Some(mut cache) = open_code_cache(&dir, &m, &o, &eng) else {
+            return ExitCode::from(2);
+        };
+        let stats = tg_cli::warm::warm_module(&m, record_options(&o, &eng), &mut cache);
+        if let Err(e) = cache.flush() {
+            eprintln!("tgrind warm: cannot write {}: {e}", cache.path().display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "== warm: {} block(s) precompiled, {} already cached, {} unliftable | facts {} | {}",
+            stats.precompiled,
+            stats.already_cached,
+            stats.skipped,
+            if stats.facts_stored { "stored" } else { "reused" },
+            cache.path().display(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
     match o.tool.as_str() {
         "none" => {
             let m = build(false);
@@ -221,20 +297,18 @@ fn main() -> ExitCode {
         }
         "taskgrind" => {
             let m = build(false);
+            // The CLI keeps the concretely typed cache for the post-run
+            // flush; the VM and taskgrind see it only through the
+            // type-erased handle.
+            let disk_cache = eng
+                .code_cache
+                .as_ref()
+                .and_then(|dir| open_code_cache(dir, &m, &o, &eng))
+                .map(|c| std::rc::Rc::new(std::cell::RefCell::new(c)));
             let cfg = TaskgrindConfig {
                 vm,
-                record: RecordOptions {
-                    ignore_list: if o.no_ignore {
-                        Vec::new()
-                    } else {
-                        taskgrind::tool::default_ignore_list()
-                    },
-                    replace_allocator: !o.keep_free,
-                    static_filter: eng.static_filter,
-                    static_concurrency: eng.static_concurrency,
-                    bulk_ingest: eng.bulk,
-                    ..Default::default()
-                },
+                record: record_options(&o, &eng),
+                code_cache: disk_cache.clone().map(|rc| grindcore::CodeCacheHandle::new(rc)),
                 suppress: if o.no_suppress {
                     SuppressOptions {
                         tls: false,
@@ -280,6 +354,12 @@ fn main() -> ExitCode {
             eprint!("{}", taskgrind::metrics::render_summary(&reg));
             eprint!("{}", render_profile(&reg));
             write_observability(&eng, &reg);
+            if let Some(rc) = &disk_cache {
+                let mut cache = rc.borrow_mut();
+                if let Err(e) = cache.flush() {
+                    eprintln!("tgrind: cannot write code cache {}: {e}", cache.path().display());
+                }
+            }
             if r.run.deadlock {
                 eprintln!("== guest deadlocked");
                 return ExitCode::from(3);

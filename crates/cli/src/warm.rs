@@ -1,0 +1,84 @@
+//! `tgrind warm`: populate the persistent code cache ahead of time.
+//!
+//! Recovers the module's CFG statically ([`tga_analysis::cfg::block_starts`]),
+//! then runs every block start through the exact translation pipeline the
+//! VM uses at run time — lift, iropt, tool instrumentation, flat
+//! compilation — and stores the result in a [`DiskCodeCache`]. A later
+//! `tgrind --code-cache=DIR` run on the same binary and engine
+//! configuration then installs these blocks straight into its translation
+//! cache instead of recompiling them.
+//!
+//! Determinism: `lift_superblock`, `opt::optimize`, the Taskgrind
+//! instrumenter and `flat::compile` are all pure functions of
+//! `(module, pc, RecordOptions)`, so a block precompiled here is
+//! byte-identical to the one a cold run would produce at the same pc.
+//! Block starts the static CFG cannot see (e.g. superblock continuation
+//! pcs after the instruction-count cap) simply stay cold and are compiled
+//! — and appended to the cache — on first execution.
+
+use grindcore::tool::BlockMeta;
+use grindcore::{CodeCache, Tool};
+use taskgrind::tool::{RecordOptions, TaskgrindTool};
+use tg_cache::DiskCodeCache;
+use tga::module::Module;
+
+/// What `warm_module` did, for the one-line CLI summary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WarmStats {
+    /// Block starts compiled and stored this invocation.
+    pub precompiled: u64,
+    /// Block starts already present in the cache (left untouched).
+    pub already_cached: u64,
+    /// Block starts the lifter rejected (data mistaken for code, etc.).
+    pub skipped: u64,
+    /// Whether static facts were computed and stored this invocation.
+    pub facts_stored: bool,
+}
+
+/// Precompile every statically recoverable block of `module` into
+/// `cache`. `record` must match the options a later run will use — the
+/// cache file's config fingerprint (chosen by the caller when opening
+/// `cache`) is what keeps mismatched configurations apart on disk.
+pub fn warm_module(module: &Module, record: RecordOptions, cache: &mut DiskCodeCache) -> WarmStats {
+    let mut stats = WarmStats::default();
+    let mut record = record;
+    // Mirror `taskgrind::check_module`: compute-and-store the static
+    // facts so the warmed run skips the whole static analysis too.
+    if record.static_filter && record.static_facts.is_none() {
+        let cached =
+            cache.load_facts().and_then(|bytes| tga_analysis::StaticFacts::from_bytes(&bytes).ok());
+        let facts = cached.unwrap_or_else(|| {
+            let opts = tga_analysis::AnalyzeOpts { concurrency: record.static_concurrency };
+            let facts = tga_analysis::analyze_with(module, &opts);
+            cache.store_facts(&facts.to_bytes());
+            stats.facts_stored = true;
+            facts
+        });
+        record.static_facts = Some(std::sync::Arc::new(facts));
+    }
+    let mut tool = TaskgrindTool::new(record);
+    for pc in tga_analysis::cfg::block_starts(module) {
+        if cache.contains(pc) {
+            stats.already_cached += 1;
+            continue;
+        }
+        let block = match grindcore::lift::lift_superblock(module, pc) {
+            Ok(b) => b,
+            Err(_) => {
+                stats.skipped += 1;
+                continue;
+            }
+        };
+        // `VmConfig::default().optimize_ir` is true and the CLI never
+        // clears it, so the runtime pipeline always runs iropt.
+        let block = grindcore::opt::optimize(block);
+        let meta = BlockMeta { base: pc, fn_symbol: module.find_func(pc).map(|s| s.name.clone()) };
+        let block = tool.instrument(block, &meta);
+        let flat = grindcore::flat::compile(&block);
+        let bytes = 64 + block.stmts.len() as u64 * 48;
+        let (_, end) = block.extent();
+        cache.store(pc, end, bytes, &flat);
+        stats.precompiled += 1;
+    }
+    stats
+}

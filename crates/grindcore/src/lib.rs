@@ -23,8 +23,10 @@
 //!   requests and replacements still fire there, which is how the
 //!   compile-time-instrumented Archer baseline runs "natively".
 
+pub mod codecache;
 pub mod creq;
 pub mod flat;
+pub mod flatio;
 pub mod lift;
 pub mod mem;
 pub mod opt;
@@ -33,7 +35,9 @@ pub mod syscalls;
 pub mod tcache;
 pub mod tool;
 pub mod vm;
+pub mod wire;
 
+pub use codecache::{CachedTranslation, CodeCache, CodeCacheHandle, CodeCacheStats};
 pub use tool::{BlockMeta, FnReplacement, SyncKind, Tool};
 pub use vm::{
     AddrClass, ExecMode, Metrics, RunResult, SchedPolicy, ThreadStatus, Tid, Vm, VmConfig, VmCore,

@@ -59,7 +59,10 @@ pub struct EvictStats {
 }
 
 struct CachedBlock {
-    ir: Rc<IrBlock>,
+    /// The instrumented IR, absent only for blocks installed straight
+    /// from the persistent code cache (which stores the flat form only;
+    /// the chained engine never consults the IR).
+    ir: Option<Rc<IrBlock>>,
     /// Flat compiled form, present iff the VM runs the chained engine
     /// (compiled at translation time, executed on every dispatch).
     flat: Option<Rc<FlatBlock>>,
@@ -150,7 +153,7 @@ impl TransCache {
             return None;
         }
         b.referenced = true;
-        Some(b.ir.clone())
+        b.ir.clone()
     }
 
     /// [`Self::take_for`] for the chained engine: hands out the flat
@@ -168,8 +171,16 @@ impl TransCache {
     }
 
     /// The IR of a handle known to be live (fresh from `lookup`/`insert`).
+    /// Panics for blocks installed from the persistent code cache, which
+    /// carry no IR — only the reference engine calls this, and the code
+    /// cache is chaining-gated, so the two never meet.
     pub fn ir_of(&self, r: CacheRef) -> Rc<IrBlock> {
-        self.slots[r.slot as usize].as_ref().expect("stale CacheRef").ir.clone()
+        self.slots[r.slot as usize]
+            .as_ref()
+            .expect("stale CacheRef")
+            .ir
+            .clone()
+            .expect("block installed from the code cache has no IR")
     }
 
     /// The flat form of a live handle; panics if the block was inserted
@@ -210,8 +221,45 @@ impl TransCache {
         let (base, end) = ir.extent();
         self.map.insert(base, slot);
         self.slots[slot as usize] = Some(CachedBlock {
-            ir,
+            ir: Some(ir),
             flat,
+            base,
+            end,
+            links: vec![None; n_links].into_boxed_slice(),
+            preds: Vec::new(),
+            referenced: true,
+            bytes,
+        });
+        self.len += 1;
+        (CacheRef { slot, gen: self.gens[slot as usize] }, ev)
+    }
+
+    /// Insert a translation loaded from the persistent code cache: only
+    /// the flat compiled form exists (no IR). Chain links start empty
+    /// and are re-resolved by the normal runtime chaining protocol; the
+    /// link count mirrors `insert`'s `side_exit_count() + 1` via the
+    /// flat block's exit table.
+    pub fn insert_flat(
+        &mut self,
+        flat: Rc<FlatBlock>,
+        end: u64,
+        bytes: u64,
+    ) -> (CacheRef, EvictStats) {
+        let mut ev = EvictStats::default();
+        if self.len >= self.capacity {
+            self.evict_one(&mut ev);
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.gens.push(0);
+            (self.slots.len() - 1) as u32
+        });
+        let n_links = flat.exits.len() + 1;
+        let base = flat.base;
+        self.map.insert(base, slot);
+        self.slots[slot as usize] = Some(CachedBlock {
+            ir: None,
+            flat: Some(flat),
             base,
             end,
             links: vec![None; n_links].into_boxed_slice(),

@@ -215,6 +215,9 @@ pub struct Metrics {
     /// Self-profiler output: `(guest function, estimated executed ops)`
     /// sorted descending. Empty unless [`VmConfig::self_profile`] is set.
     pub profile: Vec<(String, u64)>,
+    /// Persistent code-cache counters, all zero (and `enabled` false)
+    /// unless a cache was attached via [`Vm::set_code_cache`].
+    pub cache: crate::codecache::CodeCacheStats,
 }
 
 impl VmStats {
@@ -250,6 +253,15 @@ impl Metrics {
         reg.set_u64("vm.tool_bytes", self.tool_bytes);
         reg.set_u64("vm.sched_digest", self.sched_digest);
         self.dispatch.publish(reg);
+        reg.set_bool("cache.enabled", self.cache.enabled);
+        reg.set_u64("cache.hits", self.cache.hits);
+        reg.set_u64("cache.misses", self.cache.misses);
+        reg.set_u64("cache.bytes", self.cache.bytes_loaded + self.cache.bytes_stored);
+        reg.set_u64("cache.bytes_loaded", self.cache.bytes_loaded);
+        reg.set_u64("cache.bytes_stored", self.cache.bytes_stored);
+        reg.set_f64("cache.load_ms", self.cache.load_nanos as f64 / 1e6);
+        reg.set_f64("cache.store_ms", self.cache.store_nanos as f64 / 1e6);
+        reg.set_u64("cache.invalidations", self.cache.invalidations);
         for (name, ops) in &self.profile {
             reg.set_u64(&format!("profile.{name}"), *ops);
         }
@@ -501,6 +513,9 @@ pub struct Vm {
     code_hi: u64,
     /// Sampling self-profiler ([`VmConfig::self_profile`]).
     profiler: Option<crate::profile::SelfProfiler>,
+    /// Persistent compiled-code cache, consulted on translation-cache
+    /// misses (chained engine only). See [`crate::codecache`].
+    code_cache: Option<crate::codecache::CodeCacheHandle>,
 }
 
 impl Vm {
@@ -528,7 +543,15 @@ impl Vm {
             code_lo,
             code_hi,
             profiler,
+            code_cache: None,
         }
+    }
+
+    /// Attach a persistent compiled-code cache. Only the chained engine
+    /// consults it (the reference engine and fast mode never install
+    /// foreign flat blocks); attach before [`Vm::run`].
+    pub fn set_code_cache(&mut self, cache: crate::codecache::CodeCacheHandle) {
+        self.code_cache = Some(cache);
     }
 
     /// Number of translations currently resident in the bounded cache.
@@ -577,6 +600,9 @@ impl Vm {
         }
 
         self.core.metrics.guest_footprint = self.core.mem.footprint();
+        if let Some(c) = &self.code_cache {
+            self.core.metrics.cache = c.stats();
+        }
         if let Some(p) = &self.profiler {
             self.core.metrics.profile = p.resolve(&self.core.module);
         }
@@ -814,6 +840,24 @@ impl Vm {
         if let Some(r) = self.tcache.lookup(pc) {
             return Ok(r);
         }
+        // Persistent code cache: a hit installs the previously compiled
+        // flat block directly (no lift/instrument/compile). Chain links
+        // are never persisted — they re-resolve through the normal
+        // runtime chaining protocol. Chained engine only: the reference
+        // engine executes IR, which the cache does not store.
+        if self.core.config.chaining {
+            if let Some(cache) = &self.code_cache {
+                if let Some(ct) = cache.borrow_mut().load(pc) {
+                    self.core.metrics.translation_bytes += ct.bytes;
+                    let (r, ev) = self.tcache.insert_flat(Rc::new(ct.flat), ct.end, ct.bytes);
+                    self.core.metrics.dispatch.evictions += ev.evicted;
+                    self.core.metrics.dispatch.unchains += ev.unchained;
+                    self.core.metrics.translation_bytes =
+                        self.core.metrics.translation_bytes.saturating_sub(ev.bytes);
+                    return Ok(r);
+                }
+            }
+        }
         let _translate_span = if tg_obs::trace::enabled() {
             tg_obs::trace::host_span_args("translate", vec![("pc", pc)])
         } else {
@@ -849,6 +893,10 @@ impl Vm {
             Rc::new(crate::flat::compile(&block))
         });
         let bytes = 64 + block.stmts.len() as u64 * 48;
+        if let (Some(cache), Some(fb)) = (&self.code_cache, &flat) {
+            let (_, end) = block.extent();
+            cache.borrow_mut().store(pc, end, bytes, fb);
+        }
         self.core.metrics.translations += 1;
         self.core.metrics.translation_bytes += bytes;
         let (r, ev) = self.tcache.insert(Rc::new(block), flat, bytes);
@@ -863,6 +911,9 @@ impl Vm {
     /// the victims. Safe mid-block: execution holds its own `Rc` and
     /// every later chain patch is generation-validated.
     pub fn discard_translations(&mut self, lo: u64, hi: u64) {
+        if let Some(cache) = &self.code_cache {
+            cache.borrow_mut().invalidate_range(lo, hi);
+        }
         let ev = self.tcache.discard_range(lo, hi);
         self.core.metrics.dispatch.discarded_blocks += ev.evicted;
         self.core.metrics.dispatch.unchains += ev.unchained;

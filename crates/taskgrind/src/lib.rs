@@ -95,6 +95,12 @@ pub struct TaskgrindConfig {
     pub max_live_segments: usize,
     /// Valgrind-style report suppressions (see [`suppressions`]).
     pub suppressions: suppressions::Suppressions,
+    /// Persistent compiled-code cache attached to the recording VM:
+    /// hits install previously compiled flat superblocks straight into
+    /// the translation cache, and the serialized `StaticFacts` ride
+    /// along so warm runs skip the static analysis too. `None` (the
+    /// default) runs cold.
+    pub code_cache: Option<grindcore::CodeCacheHandle>,
 }
 
 impl Default for TaskgrindConfig {
@@ -108,6 +114,7 @@ impl Default for TaskgrindConfig {
             streaming: false,
             max_live_segments: 0,
             suppressions: suppressions::Suppressions::default(),
+            code_cache: None,
         }
     }
 }
@@ -179,11 +186,28 @@ impl TaskgrindResult {
 pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> TaskgrindResult {
     let mut record = cfg.record.clone();
     if record.static_filter && record.static_facts.is_none() {
-        // `concurrency` only adds lock findings and guard masks on top
-        // of the memory-classification facts — `safe_pcs` (and with it
-        // which accesses get recorded) is identical either way.
-        let opts = tga_analysis::AnalyzeOpts { concurrency: record.static_concurrency };
-        record.static_facts = Some(Arc::new(tga_analysis::analyze_with(module, &opts)));
+        // The code cache stores the serialized facts next to the
+        // compiled blocks; a valid cached copy skips the whole static
+        // analysis (the cache key's config fingerprint covers
+        // `static_concurrency`, so concurrency-on and -off runs never
+        // share facts).
+        let cached = cfg.code_cache.as_ref().and_then(|c| {
+            let bytes = c.borrow_mut().load_facts()?;
+            tga_analysis::StaticFacts::from_bytes(&bytes).ok()
+        });
+        let facts = cached.unwrap_or_else(|| {
+            // `concurrency` only adds lock findings and guard masks on
+            // top of the memory-classification facts — `safe_pcs` (and
+            // with it which accesses get recorded) is identical either
+            // way.
+            let opts = tga_analysis::AnalyzeOpts { concurrency: record.static_concurrency };
+            let facts = tga_analysis::analyze_with(module, &opts);
+            if let Some(c) = &cfg.code_cache {
+                c.borrow_mut().store_facts(&facts.to_bytes());
+            }
+            facts
+        });
+        record.static_facts = Some(Arc::new(facts));
     }
     let static_facts = record.static_facts.clone().filter(|_| record.static_filter);
     let tool = TaskgrindTool::new(record);
@@ -198,6 +222,9 @@ pub fn check_module(module: &Module, args: &[&str], cfg: &TaskgrindConfig) -> Ta
         pipeline = Some(p);
     }
     let mut vm = Vm::new(module.clone(), Box::new(tool), cfg.vm.clone());
+    if let Some(cache) = &cfg.code_cache {
+        vm.set_code_cache(cache.clone());
+    }
 
     if tg_obs::trace::enabled() {
         use tg_obs::trace::{self, PID_GUEST, PID_HOST, TID_RETIRE};

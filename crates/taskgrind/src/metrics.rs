@@ -97,6 +97,21 @@ pub fn render_summary(reg: &Registry) -> String {
         reg.u64("dispatch.evictions"),
         reg.u64("dispatch.discarded_blocks"),
     ));
+    // Rendered only when a persistent code cache was attached, so
+    // cache-less runs keep the historical four-line summary shape (the
+    // differential suite asserts on it).
+    if reg.bool("cache.enabled") {
+        out.push_str(&format!(
+            "== code cache: {} hit(s), {} miss(es) | {} byte(s) loaded, {} stored | load {:.3}ms, store {:.3}ms | {} invalidated\n",
+            reg.u64("cache.hits"),
+            reg.u64("cache.misses"),
+            reg.u64("cache.bytes_loaded"),
+            reg.u64("cache.bytes_stored"),
+            reg.f64("cache.load_ms"),
+            reg.f64("cache.store_ms"),
+            reg.u64("cache.invalidations"),
+        ));
+    }
     out
 }
 

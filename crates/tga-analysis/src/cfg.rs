@@ -99,6 +99,19 @@ fn direct_target(inst: &Inst) -> Option<u64> {
     }
 }
 
+/// Every basic-block start address in the module, deduplicated and
+/// sorted — the precompilation work-list for `tgrind warm`. Superblock
+/// lifting may start at any of these (plus dynamic continuation points
+/// the static CFG cannot know, which warm runs simply compile cold).
+pub fn block_starts(module: &Module) -> Vec<u64> {
+    let cfg = recover(module);
+    let mut starts: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for f in &cfg.funcs {
+        starts.extend(f.blocks.keys().copied());
+    }
+    starts.into_iter().collect()
+}
+
 /// Recover the CFG of every `Func` symbol in the module.
 pub fn recover(module: &Module) -> Cfg {
     let mut fsyms: Vec<_> = module.symbols.iter().filter(|s| s.kind == SymKind::Func).collect();

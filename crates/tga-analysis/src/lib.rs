@@ -31,6 +31,7 @@ use tga::module::{Module, SymKind};
 
 pub mod cfg;
 pub mod dataflow;
+pub mod factsio;
 pub mod lockorder;
 pub mod lockset;
 pub mod summaries;
@@ -188,6 +189,16 @@ pub struct StaticFacts {
 }
 
 impl StaticFacts {
+    /// Serialize for the persistent code cache ([`factsio`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        factsio::facts_to_bytes(self)
+    }
+
+    /// Deserialize facts written by [`StaticFacts::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<StaticFacts, grindcore::wire::WireError> {
+        factsio::facts_from_bytes(bytes)
+    }
+
     /// May the access at `pc` skip recording? Conservative: unknown pcs
     /// are always recorded, and atomics are never in `safe_pcs`.
     pub fn is_safe_access(&self, pc: u64, _write: bool) -> bool {

@@ -229,6 +229,99 @@ pub enum JumpKind {
     Halt,
 }
 
+impl BinOp {
+    /// Stable wire tag for on-disk serialization. Tags are append-only:
+    /// new operators take the next free number, existing numbers never
+    /// change, so cached code from older sessions stays decodable.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            BinOp::Add => 0,
+            BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::DivS => 3,
+            BinOp::RemS => 4,
+            BinOp::And => 5,
+            BinOp::Or => 6,
+            BinOp::Xor => 7,
+            BinOp::Shl => 8,
+            BinOp::ShrU => 9,
+            BinOp::ShrS => 10,
+            BinOp::CmpEq => 11,
+            BinOp::CmpNe => 12,
+            BinOp::CmpLtS => 13,
+            BinOp::CmpLeS => 14,
+            BinOp::CmpLtU => 15,
+            BinOp::FAdd => 16,
+            BinOp::FSub => 17,
+            BinOp::FMul => 18,
+            BinOp::FDiv => 19,
+            BinOp::FCmpEq => 20,
+            BinOp::FCmpLt => 21,
+            BinOp::FCmpLe => 22,
+        }
+    }
+
+    /// Inverse of [`BinOp::wire_tag`]; `None` on an unknown tag.
+    pub fn from_wire_tag(t: u8) -> Option<BinOp> {
+        Some(match t {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            3 => BinOp::DivS,
+            4 => BinOp::RemS,
+            5 => BinOp::And,
+            6 => BinOp::Or,
+            7 => BinOp::Xor,
+            8 => BinOp::Shl,
+            9 => BinOp::ShrU,
+            10 => BinOp::ShrS,
+            11 => BinOp::CmpEq,
+            12 => BinOp::CmpNe,
+            13 => BinOp::CmpLtS,
+            14 => BinOp::CmpLeS,
+            15 => BinOp::CmpLtU,
+            16 => BinOp::FAdd,
+            17 => BinOp::FSub,
+            18 => BinOp::FMul,
+            19 => BinOp::FDiv,
+            20 => BinOp::FCmpEq,
+            21 => BinOp::FCmpLt,
+            22 => BinOp::FCmpLe,
+            _ => return None,
+        })
+    }
+}
+
+impl UnOp {
+    /// Stable wire tag for on-disk serialization (append-only, like
+    /// [`BinOp::wire_tag`]).
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            UnOp::Neg => 0,
+            UnOp::Not => 1,
+            UnOp::I2F => 2,
+            UnOp::F2I => 3,
+            UnOp::FNeg => 4,
+            UnOp::FAbs => 5,
+            UnOp::FSqrt => 6,
+        }
+    }
+
+    /// Inverse of [`UnOp::wire_tag`]; `None` on an unknown tag.
+    pub fn from_wire_tag(t: u8) -> Option<UnOp> {
+        Some(match t {
+            0 => UnOp::Neg,
+            1 => UnOp::Not,
+            2 => UnOp::I2F,
+            3 => UnOp::F2I,
+            4 => UnOp::FNeg,
+            5 => UnOp::FAbs,
+            6 => UnOp::FSqrt,
+            _ => return None,
+        })
+    }
+}
+
 /// A single IR statement.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Stmt {
