@@ -23,6 +23,10 @@ pub struct Opts {
     pub cache_blocks: Option<usize>,
     pub no_suppress: bool,
     pub analysis_threads: usize,
+    /// `--compile-threads=N`, already resolved through
+    /// [`parse_thread_count`]; `None` when the flag was absent (the
+    /// environment variable may still enable the pool at resolve time).
+    pub compile_threads: Option<usize>,
     pub no_sweep: bool,
     pub no_bulk: bool,
     pub no_fuse: bool,
@@ -93,6 +97,14 @@ pub const FLAGS: &[FlagSpec] = &[
         default: "on",
         subsystem: "translation",
         effect: "peephole fusion of flat-compiled blocks",
+    },
+    FlagSpec {
+        knob: "compile_threads",
+        flag: "`--compile-threads=N`",
+        env: Some("`TG_COMPILE_THREADS`"),
+        default: "0 (synchronous)",
+        subsystem: "translation",
+        effect: "background compile workers; dispatch tree-walks blocks until they promote (N=0 means auto)",
     },
     FlagSpec {
         knob: "code_cache",
@@ -188,6 +200,11 @@ pub struct EngineConfig {
     pub sweep: bool,
     pub bulk: bool,
     pub fuse: bool,
+    /// Background compile workers (`--compile-threads`,
+    /// `TG_COMPILE_THREADS`); 0 compiles synchronously on the dispatch
+    /// thread. The flag/env value 0 means auto (one per host core) and
+    /// is resolved before it lands here.
+    pub compile_threads: usize,
     /// Directory of the persistent compiled-code cache (`--code-cache`,
     /// `TG_CODE_CACHE`); `None` runs cold.
     pub code_cache: Option<String>,
@@ -207,6 +224,23 @@ fn env_path(var: &str) -> Option<String> {
     std::env::var(var).ok().filter(|s| !s.is_empty())
 }
 
+/// Resolve a thread-count knob value: 0 means auto — one worker per
+/// available host core. Shared convention of `--analysis-threads` and
+/// `--compile-threads`.
+pub fn resolve_thread_count(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+/// Parse a `--*-threads=N` flag value and resolve the 0=auto
+/// convention; exits with usage on a malformed count.
+pub fn parse_thread_count(v: &str) -> usize {
+    resolve_thread_count(v.parse().unwrap_or_else(|_| usage()))
+}
+
 impl EngineConfig {
     /// Resolve the engine configuration from parsed options and the
     /// environment.
@@ -216,6 +250,12 @@ impl EngineConfig {
             sweep: !o.no_sweep,
             bulk: !o.no_bulk && std::env::var_os("TG_NO_BULK").is_none(),
             fuse: !o.no_fuse && std::env::var_os("TG_NO_FUSE").is_none(),
+            compile_threads: o.compile_threads.unwrap_or_else(|| {
+                env_path("TG_COMPILE_THREADS")
+                    .and_then(|v| v.parse().ok())
+                    .map(resolve_thread_count)
+                    .unwrap_or(0)
+            }),
             code_cache: if o.no_code_cache {
                 None
             } else {
@@ -259,6 +299,7 @@ impl EngineConfig {
             ("sweep", onoff(self.sweep)),
             ("bulk", onoff(self.bulk)),
             ("fuse", onoff(self.fuse)),
+            ("compile_threads", self.compile_threads.to_string()),
             ("code_cache", self.code_cache.clone().unwrap_or_else(|| "off".into())),
             ("static_filter", onoff(self.static_filter)),
             ("static_concurrency", onoff(self.static_concurrency)),
@@ -304,6 +345,7 @@ impl EngineConfig {
         reg.set_bool("engine.sweep", self.sweep);
         reg.set_bool("engine.bulk", self.bulk);
         reg.set_bool("engine.fuse", self.fuse);
+        reg.set_u64("engine.compile_threads", self.compile_threads as u64);
         reg.set_str("engine.code_cache", self.code_cache.as_deref().unwrap_or("off"));
         reg.set_bool("engine.static_filter", self.static_filter);
         reg.set_bool("engine.static_concurrency", self.static_concurrency);
@@ -321,7 +363,8 @@ pub fn usage() -> ! {
     );
     eprintln!("              [--no-static-concurrency]");
     eprintln!("              [--no-chaining] [--cache-blocks=N] [--no-suppress]");
-    eprintln!("              [--analysis-threads=N] [--no-sweep] [--no-bulk] [--no-fuse]");
+    eprintln!("              [--analysis-threads=N] [--compile-threads=N] [--no-sweep]");
+    eprintln!("              [--no-bulk] [--no-fuse]");
     eprintln!("              [--code-cache=DIR] [--no-code-cache]");
     eprintln!("              [--streaming|--no-streaming] [--max-live-segments=N]");
     eprintln!("              [--trace-out=FILE] [--metrics-json=FILE] [--self-profile]");
@@ -329,8 +372,9 @@ pub fn usage() -> ! {
     eprintln!("              <program.c> [-- args...]");
     eprintln!("       tgrind lint [--lint-json=FILE] <program.c>");
     eprintln!("       tgrind warm --code-cache=DIR <program.c>   (precompile the whole CFG)");
-    eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_CODE_CACHE, TG_STREAMING, TG_TRACE_OUT,");
-    eprintln!("            TG_METRICS_JSON, TG_SELF_PROFILE (flags win over env)");
+    eprintln!("       env: TG_NO_BULK, TG_NO_FUSE, TG_COMPILE_THREADS, TG_CODE_CACHE,");
+    eprintln!("            TG_STREAMING, TG_TRACE_OUT, TG_METRICS_JSON, TG_SELF_PROFILE");
+    eprintln!("            (flags win over env)");
     std::process::exit(2)
 }
 
@@ -352,6 +396,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
         cache_blocks: None,
         no_suppress: false,
         analysis_threads: 0,
+        compile_threads: None,
         no_sweep: false,
         no_bulk: false,
         no_fuse: false,
@@ -401,7 +446,9 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Opts {
         } else if let Some(v) =
             a.strip_prefix("--analysis-threads=").or_else(|| a.strip_prefix("--parallel-analysis="))
         {
-            o.analysis_threads = v.parse().unwrap_or_else(|_| usage());
+            o.analysis_threads = parse_thread_count(v);
+        } else if let Some(v) = a.strip_prefix("--compile-threads=") {
+            o.compile_threads = Some(parse_thread_count(v));
         } else if a == "--no-sweep" {
             o.no_sweep = true;
         } else if a == "--no-bulk" {
@@ -512,12 +559,40 @@ mod tests {
             streaming.translation_fingerprint(&[]),
             "analysis-side knobs must not invalidate cached code"
         );
+        let pooled = EngineConfig::resolve(&opts(&["--compile-threads=4", "p.c"]));
+        assert_eq!(
+            fp,
+            pooled.translation_fingerprint(&[]),
+            "compile scheduling must not invalidate cached code (output is identical)"
+        );
         assert_ne!(fp, base.translation_fingerprint(&["tool=archer".into()]));
         assert_ne!(
             base.translation_fingerprint(&["ab".into()]),
             base.translation_fingerprint(&["a".into(), "b".into()]),
             "extra parts must be delimited"
         );
+    }
+
+    #[test]
+    fn compile_threads_parse_and_resolve() {
+        // Flag absent: synchronous engine, regardless of core count.
+        let eng = EngineConfig::resolve(&opts(&["p.c"]));
+        assert!(
+            eng.compile_threads == 0 || std::env::var_os("TG_COMPILE_THREADS").is_some(),
+            "no flag, no env: stay synchronous"
+        );
+        // Explicit count passes through.
+        let eng = EngineConfig::resolve(&opts(&["--compile-threads=4", "p.c"]));
+        assert_eq!(eng.compile_threads, 4);
+        // Explicit 0 means auto: one worker per available core.
+        let eng = EngineConfig::resolve(&opts(&["--compile-threads=0", "p.c"]));
+        assert_eq!(eng.compile_threads, resolve_thread_count(0));
+        assert!(eng.compile_threads >= 1);
+        // The shared helper backs --analysis-threads too.
+        let o = opts(&["--analysis-threads=0", "p.c"]);
+        assert_eq!(o.analysis_threads, resolve_thread_count(0));
+        let o = opts(&["--analysis-threads=3", "p.c"]);
+        assert_eq!(o.analysis_threads, 3);
     }
 
     #[test]

@@ -190,6 +190,7 @@ fn main() -> ExitCode {
         sched: if o.random { SchedPolicy::Random } else { SchedPolicy::RoundRobin },
         chaining: eng.chaining,
         cache_blocks: o.cache_blocks.unwrap_or_else(|| VmConfig::default().cache_blocks),
+        compile_threads: eng.compile_threads,
         self_profile: eng.self_profile,
         ..Default::default()
     };
@@ -232,16 +233,23 @@ fn main() -> ExitCode {
         let Some(mut cache) = open_code_cache(&dir, &m, &o, &eng) else {
             return ExitCode::from(2);
         };
-        let stats = tg_cli::warm::warm_module(&m, record_options(&o, &eng), &mut cache);
+        let stats = tg_cli::warm::warm_module(
+            &m,
+            record_options(&o, &eng),
+            &mut cache,
+            eng.compile_threads,
+        );
         if let Err(e) = cache.flush() {
             eprintln!("tgrind warm: cannot write {}: {e}", cache.path().display());
             return ExitCode::from(2);
         }
         eprintln!(
-            "== warm: {} block(s) precompiled, {} already cached, {} unliftable | facts {} | {}",
+            "== warm: {} block(s) precompiled, {} already cached, {} unliftable | {} worker(s), {:.0} blocks/s | facts {} | {}",
             stats.precompiled,
             stats.already_cached,
             stats.skipped,
+            stats.threads,
+            stats.blocks_per_sec,
             if stats.facts_stored { "stored" } else { "reused" },
             cache.path().display(),
         );

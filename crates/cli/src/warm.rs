@@ -8,16 +8,27 @@
 //! configuration then installs these blocks straight into its translation
 //! cache instead of recompiling them.
 //!
+//! The compile loop fans out across a [`grindcore::CompilePool`]
+//! (`--compile-threads`, same knob as the runtime pipeline): each worker
+//! owns a private [`TaskgrindTool`] built *on* the worker thread (the
+//! tool is `!Send`), and results are sorted by pc before they are stored
+//! so the cache file is byte-identical for any thread count. Stores go
+//! into the in-memory container; the caller flushes the file exactly
+//! once at the end.
+//!
 //! Determinism: `lift_superblock`, `opt::optimize`, the Taskgrind
 //! instrumenter and `flat::compile` are all pure functions of
 //! `(module, pc, RecordOptions)`, so a block precompiled here is
-//! byte-identical to the one a cold run would produce at the same pc.
-//! Block starts the static CFG cannot see (e.g. superblock continuation
-//! pcs after the instruction-count cap) simply stay cold and are compiled
-//! — and appended to the cache — on first execution.
+//! byte-identical to the one a cold run would produce at the same pc —
+//! on any worker thread. Block starts the static CFG cannot see (e.g.
+//! superblock continuation pcs after the instruction-count cap) simply
+//! stay cold and are compiled — and appended to the cache — on first
+//! execution.
 
+use grindcore::flat::FlatBlock;
 use grindcore::tool::BlockMeta;
-use grindcore::{CodeCache, Tool};
+use grindcore::{CodeCache, CompilePool, Tool};
+use std::sync::Arc;
 use taskgrind::tool::{RecordOptions, TaskgrindTool};
 use tg_cache::DiskCodeCache;
 use tga::module::Module;
@@ -33,13 +44,28 @@ pub struct WarmStats {
     pub skipped: u64,
     /// Whether static facts were computed and stored this invocation.
     pub facts_stored: bool,
+    /// Compile workers used (≥ 1).
+    pub threads: usize,
+    /// Precompiled blocks per wall-clock second of the compile phase.
+    pub blocks_per_sec: f64,
 }
 
+/// One precompiled block coming back from a warm worker. `None` body
+/// means the lifter rejected the pc.
+type WarmDone = (u64, Option<(u64, u64, FlatBlock)>);
+
 /// Precompile every statically recoverable block of `module` into
-/// `cache`. `record` must match the options a later run will use — the
-/// cache file's config fingerprint (chosen by the caller when opening
-/// `cache`) is what keeps mismatched configurations apart on disk.
-pub fn warm_module(module: &Module, record: RecordOptions, cache: &mut DiskCodeCache) -> WarmStats {
+/// `cache`, fanning the per-block pipeline across `threads` workers
+/// (0 or 1 = a single worker). `record` must match the options a later
+/// run will use — the cache file's config fingerprint (chosen by the
+/// caller when opening `cache`) is what keeps mismatched configurations
+/// apart on disk.
+pub fn warm_module(
+    module: &Module,
+    record: RecordOptions,
+    cache: &mut DiskCodeCache,
+    threads: usize,
+) -> WarmStats {
     let mut stats = WarmStats::default();
     let mut record = record;
     // Mirror `taskgrind::check_module`: compute-and-store the static
@@ -56,29 +82,65 @@ pub fn warm_module(module: &Module, record: RecordOptions, cache: &mut DiskCodeC
         });
         record.static_facts = Some(std::sync::Arc::new(facts));
     }
-    let mut tool = TaskgrindTool::new(record);
+    let mut todo: Vec<u64> = Vec::new();
     for pc in tga_analysis::cfg::block_starts(module) {
         if cache.contains(pc) {
             stats.already_cached += 1;
-            continue;
+        } else {
+            todo.push(pc);
         }
-        let block = match grindcore::lift::lift_superblock(module, pc) {
-            Ok(b) => b,
-            Err(_) => {
-                stats.skipped += 1;
-                continue;
+    }
+    stats.threads = threads.max(1);
+    if todo.is_empty() {
+        return stats;
+    }
+
+    let t0 = std::time::Instant::now();
+    let module = Arc::new(module.clone());
+    let pool: CompilePool<u64, WarmDone> =
+        CompilePool::new(stats.threads, todo.len(), "warm", move |_i| {
+            let module = module.clone();
+            // The tool is `!Send`; the pool's factory runs on the worker
+            // thread, so each worker owns a private instance.
+            let mut tool = TaskgrindTool::new(record.clone());
+            move |pc: u64| {
+                let block = match grindcore::lift::lift_superblock(&module, pc) {
+                    Ok(b) => b,
+                    Err(_) => return (pc, None),
+                };
+                // `VmConfig::default().optimize_ir` is true and the CLI
+                // never clears it, so the runtime pipeline always runs
+                // iropt.
+                let block = grindcore::opt::optimize(block);
+                let meta =
+                    BlockMeta { base: pc, fn_symbol: module.find_func(pc).map(|s| s.name.clone()) };
+                let block = tool.instrument(block, &meta);
+                let flat = grindcore::flat::compile(&block);
+                let bytes = 64 + block.stmts.len() as u64 * 48;
+                let (_, end) = block.extent();
+                (pc, Some((end, bytes, flat)))
             }
-        };
-        // `VmConfig::default().optimize_ir` is true and the CLI never
-        // clears it, so the runtime pipeline always runs iropt.
-        let block = grindcore::opt::optimize(block);
-        let meta = BlockMeta { base: pc, fn_symbol: module.find_func(pc).map(|s| s.name.clone()) };
-        let block = tool.instrument(block, &meta);
-        let flat = grindcore::flat::compile(&block);
-        let bytes = 64 + block.stmts.len() as u64 * 48;
-        let (_, end) = block.extent();
-        cache.store(pc, end, bytes, &flat);
-        stats.precompiled += 1;
+        });
+    // The queue is sized to hold every job, so these sends cannot fail.
+    for pc in &todo {
+        pool.try_send(*pc).expect("warm queue sized for all jobs");
+    }
+    let mut done = pool.shutdown();
+    // Store in pc order so the cache file is identical for any thread
+    // count or completion interleaving.
+    done.sort_unstable_by_key(|(pc, _)| *pc);
+    for (pc, body) in done {
+        match body {
+            Some((end, bytes, flat)) => {
+                cache.store(pc, end, bytes, &flat);
+                stats.precompiled += 1;
+            }
+            None => stats.skipped += 1,
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        stats.blocks_per_sec = stats.precompiled as f64 / secs;
     }
     stats
 }

@@ -1,0 +1,241 @@
+//! The background compile pool: a bounded job queue served by N worker
+//! threads, used to move host compilation (superblock fuse + flat
+//! compile) off the dispatch thread.
+//!
+//! "Parallel Binary Code Analysis" (Meng et al.) shows per-block code
+//! construction parallelizes across host cores with near-linear
+//! speedup; Valgrind never exploits this because its dispatcher owns
+//! translation. Here the dispatch thread stays the only *producer* and
+//! the only *authority* over the translation cache's contents (insert,
+//! evict, discard); workers are pure functions from job to result that
+//! additionally *promote* already-inserted cache entries
+//! ([`crate::tcache::TransCache::install_compiled`]). That split is what
+//! keeps the tool-event stream and scheduler digest bit-identical to
+//! the synchronous engine: nothing a worker does is observable to the
+//! guest or the tool, only *when* dispatch switches a block from the
+//! tree-walk fallback to the compiled form — and the two engines are
+//! proven equivalent by the differential suite.
+//!
+//! The pool is generic over job and result so `tgrind warm` can reuse
+//! it with a per-worker tool instance. The worker state is built *on*
+//! the worker thread by the `make_worker` factory, so it may be `!Send`
+//! (e.g. hold `Rc` internally) — only the factory itself crosses
+//! threads.
+//!
+//! Backpressure: the job queue is bounded. [`CompilePool::try_send`]
+//! returns the job back when the queue is full and the caller compiles
+//! inline — guest progress never blocks on a full queue either.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Queue-depth telemetry shared between the senders and the workers.
+struct Depth {
+    cur: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Depth {
+    fn push(&self) {
+        let d = self.cur.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(d, Ordering::Relaxed);
+    }
+
+    fn pop(&self) {
+        self.cur.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A fixed set of worker threads draining a bounded job queue into an
+/// unbounded result queue. See the module docs for the role split.
+pub struct CompilePool<J: Send + 'static, R: Send + 'static> {
+    /// Job sender; dropped on shutdown to stop the workers.
+    tx: Option<SyncSender<J>>,
+    results: Receiver<R>,
+    workers: Vec<JoinHandle<()>>,
+    depth: Arc<Depth>,
+}
+
+impl<J: Send + 'static, R: Send + 'static> CompilePool<J, R> {
+    /// Spawn `n_workers` threads (min 1) named `<name>.worker<i>`,
+    /// each running the closure built by `make_worker(i)` over every
+    /// job it pulls. The queue holds at most `queue_cap` pending jobs.
+    pub fn new<W, F>(n_workers: usize, queue_cap: usize, name: &str, make_worker: F) -> Self
+    where
+        W: FnMut(J) -> R,
+        F: Fn(usize) -> W + Send + Sync + 'static,
+    {
+        let n = n_workers.max(1);
+        let (tx, jobs) = std::sync::mpsc::sync_channel::<J>(queue_cap.max(1));
+        let (out, results) = std::sync::mpsc::channel::<R>();
+        let jobs = Arc::new(Mutex::new(jobs));
+        let depth = Arc::new(Depth { cur: AtomicU64::new(0), peak: AtomicU64::new(0) });
+        let make_worker = Arc::new(make_worker);
+        let workers = (0..n)
+            .map(|i| {
+                let jobs = jobs.clone();
+                let out = out.clone();
+                let depth = depth.clone();
+                let make_worker = make_worker.clone();
+                let track = format!("{name}.worker{i}");
+                std::thread::Builder::new()
+                    .name(track.clone())
+                    .spawn(move || {
+                        if tg_obs::trace::enabled() {
+                            tg_obs::trace::name_track(
+                                tg_obs::trace::PID_HOST,
+                                tg_obs::trace::host_tid(),
+                                &track,
+                            );
+                        }
+                        let mut work = make_worker(i);
+                        loop {
+                            // Hold the receiver lock only for the pull;
+                            // the job itself runs unlocked so workers
+                            // overlap.
+                            let job = match jobs.lock().recv() {
+                                Ok(j) => j,
+                                Err(_) => break, // sender dropped: shutdown
+                            };
+                            depth.pop();
+                            if out.send(work(job)).is_err() {
+                                break; // pool dropped mid-run
+                            }
+                        }
+                    })
+                    .expect("spawn compile worker")
+            })
+            .collect();
+        CompilePool { tx: Some(tx), results, workers, depth }
+    }
+
+    /// Enqueue a job without blocking. On a full queue the job is
+    /// handed back for the caller to run inline.
+    pub fn try_send(&self, job: J) -> Result<(), J> {
+        // Count the job before it becomes visible to workers, so the
+        // worker's decrement can never race ahead of the increment.
+        self.depth.push();
+        match self.tx.as_ref().expect("pool already shut down").try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => {
+                self.depth.pop();
+                Err(j)
+            }
+        }
+    }
+
+    /// Results completed so far, without blocking.
+    pub fn try_drain(&self) -> Vec<R> {
+        let mut v = Vec::new();
+        while let Ok(r) = self.results.try_recv() {
+            v.push(r);
+        }
+        v
+    }
+
+    /// Jobs currently queued (excluding jobs being worked on).
+    pub fn queue_depth(&self) -> u64 {
+        self.depth.cur.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the job queue over the pool's lifetime.
+    pub fn queue_depth_peak(&self) -> u64 {
+        self.depth.peak.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting jobs, wait for the workers to finish everything
+    /// already queued, and return all remaining results.
+    pub fn shutdown(mut self) -> Vec<R> {
+        self.tx = None; // close the queue; workers drain then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let mut v = Vec::new();
+        while let Ok(r) = self.results.try_recv() {
+            v.push(r);
+        }
+        v
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static> Drop for CompilePool<J, R> {
+    fn drop(&mut self) {
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_round_trip_through_workers() {
+        let pool: CompilePool<u64, u64> = CompilePool::new(3, 16, "test", |_i| |j: u64| j * 2);
+        for j in 0..40u64 {
+            let mut job = j;
+            loop {
+                match pool.try_send(job) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        job = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let mut got = pool.shutdown();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..40).map(|j| j * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn full_queue_hands_the_job_back() {
+        // A single worker blocked on its first job; capacity 1 fills.
+        let gate = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let g = gate.clone();
+        let pool: CompilePool<u64, u64> = CompilePool::new(1, 1, "test", move |_i| {
+            let g = g.clone();
+            move |j: u64| {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+                j
+            }
+        });
+        // First job is picked up by the worker (and parks on the gate);
+        // then the queue itself (capacity 1) fills.
+        let mut rejected = false;
+        for j in 0..8u64 {
+            if pool.try_send(j).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "a bounded queue with a parked worker must fill");
+        assert!(pool.queue_depth_peak() >= 1);
+        gate.store(1, Ordering::SeqCst);
+        let got = pool.shutdown();
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn worker_state_is_built_on_the_worker_thread() {
+        // The worker closure holds an Rc — a !Send type — proving the
+        // factory pattern lets per-worker state stay thread-local.
+        let pool: CompilePool<u64, u64> = CompilePool::new(2, 8, "test", |i| {
+            let local = std::rc::Rc::new(i as u64);
+            move |j: u64| j + *local
+        });
+        assert!(pool.try_send(100).is_ok());
+        let got = pool.shutdown();
+        assert_eq!(got.len(), 1);
+        assert!(got[0] == 100 || got[0] == 101);
+    }
+}

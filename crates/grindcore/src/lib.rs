@@ -24,6 +24,7 @@
 //!   compile-time-instrumented Archer baseline runs "natively".
 
 pub mod codecache;
+pub mod compilepool;
 pub mod creq;
 pub mod flat;
 pub mod flatio;
@@ -38,8 +39,9 @@ pub mod vm;
 pub mod wire;
 
 pub use codecache::{CachedTranslation, CodeCache, CodeCacheHandle, CodeCacheStats};
+pub use compilepool::CompilePool;
 pub use tool::{BlockMeta, FnReplacement, SyncKind, Tool};
 pub use vm::{
-    AddrClass, ExecMode, Metrics, RunResult, SchedPolicy, ThreadStatus, Tid, Vm, VmConfig, VmCore,
-    VmError, VmStats,
+    AddrClass, CompileStats, ExecMode, Metrics, RunResult, SchedPolicy, ThreadStatus, Tid, Vm,
+    VmConfig, VmCore, VmError, VmStats,
 };

@@ -19,6 +19,7 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const PAGE_BITS: u64 = 12;
 /// Guest page size in bytes.
@@ -57,13 +58,49 @@ type PageMap = HashMap<u64, u32, BuildHasherDefault<PnoHasher>>;
 /// op, so a site that walks an array and a site that touches the stack
 /// each keep their own page hot instead of thrashing the global
 /// lookaside. Stable arena indices make a filled entry valid forever.
+///
+/// The pair is packed into one `AtomicU64` (`pno << 16 | index`, with
+/// `u64::MAX` as the empty sentinel) so the flat block that owns the
+/// site is `Send + Sync` and can be compiled off-thread and shared
+/// through the sharded translation cache. Relaxed ordering suffices:
+/// the value is a pure hint revalidated by the `pno` compare, and only
+/// the dispatch thread executes the block, so there is never a racing
+/// writer whose update we could observe half-applied (a single 64-bit
+/// store is atomic regardless).
 pub struct PageIc {
-    slot: Cell<(u64, u32)>,
+    slot: AtomicU64,
 }
+
+/// Packed-entry capacity: page numbers of cacheable sites must fit in
+/// 48 bits (guest addresses stay below 2^47, so every real page does)
+/// and arena indices in 16 bits. Out-of-range resolutions simply stay
+/// uncached — the IC is a hint, the page-map probe is the slow path.
+const IC_PNO_LIMIT: u64 = 1 << 48;
+const IC_IDX_LIMIT: u32 = 1 << 16;
+const IC_EMPTY: u64 = u64::MAX;
 
 impl PageIc {
     pub fn new() -> PageIc {
-        PageIc { slot: Cell::new((NO_PAGE, 0)) }
+        PageIc { slot: AtomicU64::new(IC_EMPTY) }
+    }
+
+    /// The cached `(pno, arena index)` pair, if any.
+    #[inline]
+    fn get(&self) -> Option<(u64, u32)> {
+        let v = self.slot.load(Ordering::Relaxed);
+        if v == IC_EMPTY {
+            None
+        } else {
+            Some((v >> 16, (v & 0xffff) as u32))
+        }
+    }
+
+    /// Cache a resolution; silently dropped when it does not pack.
+    #[inline]
+    fn set(&self, pno: u64, idx: u32) {
+        if pno < IC_PNO_LIMIT && idx < IC_IDX_LIMIT {
+            self.slot.store(pno << 16 | idx as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -82,11 +119,9 @@ impl Clone for PageIc {
 
 impl std::fmt::Debug for PageIc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (p, i) = self.slot.get();
-        if p == NO_PAGE {
-            write!(f, "PageIc(empty)")
-        } else {
-            write!(f, "PageIc({p:#x}→{i})")
+        match self.get() {
+            None => write!(f, "PageIc(empty)"),
+            Some((p, i)) => write!(f, "PageIc({p:#x}→{i})"),
         }
     }
 }
@@ -230,17 +265,15 @@ impl GuestMemory {
         let off = (addr & OFF_MASK) as usize;
         if off <= PAGE_SIZE as usize - 8 {
             let pno = addr >> PAGE_BITS;
-            let (p, i) = ic.slot.get();
-            let i = if p == pno {
-                i
-            } else {
-                match self.map.get(&pno) {
+            let i = match ic.get() {
+                Some((p, i)) if p == pno => i,
+                _ => match self.map.get(&pno) {
                     Some(&i) => {
-                        ic.slot.set((pno, i));
+                        ic.set(pno, i);
                         i
                     }
                     None => return 0,
-                }
+                },
             };
             return u64::from_le_bytes(self.arena[i as usize][off..off + 8].try_into().unwrap());
         }
@@ -255,13 +288,13 @@ impl GuestMemory {
         let off = (addr & OFF_MASK) as usize;
         if off <= PAGE_SIZE as usize - 8 {
             let pno = addr >> PAGE_BITS;
-            let (p, i) = ic.slot.get();
-            let i = if p == pno {
-                i
-            } else {
-                let i = self.page_index_mut(pno);
-                ic.slot.set((pno, i));
-                i
+            let i = match ic.get() {
+                Some((p, i)) if p == pno => i,
+                _ => {
+                    let i = self.page_index_mut(pno);
+                    ic.set(pno, i);
+                    i
+                }
             };
             self.arena[i as usize][off..off + 8].copy_from_slice(&v.to_le_bytes());
             return;
@@ -273,17 +306,15 @@ impl GuestMemory {
     #[inline]
     pub fn read_u8_ic(&self, addr: u64, ic: &PageIc) -> u8 {
         let pno = addr >> PAGE_BITS;
-        let (p, i) = ic.slot.get();
-        let i = if p == pno {
-            i
-        } else {
-            match self.map.get(&pno) {
+        let i = match ic.get() {
+            Some((p, i)) if p == pno => i,
+            _ => match self.map.get(&pno) {
                 Some(&i) => {
-                    ic.slot.set((pno, i));
+                    ic.set(pno, i);
                     i
                 }
                 None => return 0,
-            }
+            },
         };
         self.arena[i as usize][(addr & OFF_MASK) as usize]
     }
@@ -292,13 +323,13 @@ impl GuestMemory {
     #[inline]
     pub fn write_u8_ic(&mut self, addr: u64, v: u8, ic: &PageIc) {
         let pno = addr >> PAGE_BITS;
-        let (p, i) = ic.slot.get();
-        let i = if p == pno {
-            i
-        } else {
-            let i = self.page_index_mut(pno);
-            ic.slot.set((pno, i));
-            i
+        let i = match ic.get() {
+            Some((p, i)) if p == pno => i,
+            _ => {
+                let i = self.page_index_mut(pno);
+                ic.set(pno, i);
+                i
+            }
         };
         self.arena[i as usize][(addr & OFF_MASK) as usize] = v;
     }

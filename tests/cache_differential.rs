@@ -271,7 +271,9 @@ fn static_warm_precompile_feeds_a_first_run() {
     {
         let cache = open_cache(&dir, &m, c);
         let record = RecordOptions { static_concurrency: c.concurrency, ..Default::default() };
-        let stats = tg_cli::warm::warm_module(&m, record, &mut cache.borrow_mut());
+        // Warm through the compile pool (2 workers): the cached run
+        // below then doubles as a parallel-warm differential.
+        let stats = tg_cli::warm::warm_module(&m, record, &mut cache.borrow_mut(), 2);
         assert!(stats.precompiled > 0, "warm must precompile blocks: {stats:?}");
         assert!(stats.facts_stored, "warm computes and stores the static facts");
         cache.borrow_mut().flush().expect("flush");
